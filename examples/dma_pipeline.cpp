@@ -1,0 +1,68 @@
+// Full-system data-pipeline demo: the descriptor-based iDMA engine
+// streams frames from DRAM (behind the LLC) through the crossbar and
+// the TMU into the Ethernet IP, while a VCD waveform of the monitored
+// link is dumped for inspection in GTKWave/Surfer.
+//
+// Build & run:  ./build/examples/dma_pipeline
+// Then open:    /tmp/tmu_ethernet.vcd
+
+#include <cstdio>
+
+#include "sim/vcd.hpp"
+#include "soc/cheshire.hpp"
+
+int main() {
+  using namespace axi;
+  using soc::CheshireMap;
+
+  tmu::TmuConfig cfg;
+  cfg.variant = tmu::Variant::kFullCounter;
+  cfg.adaptive.enabled = true;
+  cfg.adaptive.cycles_per_beat = 3;
+  soc::CheshireSystem sys(cfg);
+
+  // Waveform of the monitored (manager-side) Ethernet link.
+  sim::VcdWriter vcd("/tmp/tmu_ethernet.vcd");
+  // Probing through the public component interfaces:
+  vcd.probe("eth_writes_done", 16, [&] { return sys.ethernet().writes_done(); });
+  vcd.probe("eth_tx_level", 8, [&] { return sys.ethernet().tx_fifo_level(); });
+  vcd.probe("tmu_irq", 1, [&] { return std::uint64_t{sys.tmu().irq.read()}; });
+  vcd.probe("tmu_severed", 1, [&] { return std::uint64_t{sys.tmu().severed()}; });
+  vcd.probe("dma_beats", 16, [&] { return sys.dma_engine().beats_moved(); });
+  sys.sim().on_cycle([&](std::uint64_t c) { vcd.sample(c); });
+
+  // Seed three frames in DRAM.
+  for (int f = 0; f < 3; ++f) {
+    for (int i = 0; i < 64 * 8; ++i) {
+      sys.dram().poke(CheshireMap::kDramBase + f * 0x400 + i,
+                      static_cast<std::uint8_t>(f * 31 + i));
+    }
+  }
+
+  // Program the DMA: three 64-beat frame transfers DRAM -> Ethernet TX.
+  for (int f = 0; f < 3; ++f) {
+    sys.dma_engine().submit(soc::DmaDescriptor{
+        CheshireMap::kDramBase + static_cast<axi::Addr>(f) * 0x400,
+        CheshireMap::kEthTxWindow, 64});
+  }
+
+  sys.sim().run_until([&] { return sys.dma_engine().descriptors_done() >= 3; },
+                      20000);
+  std::printf("pipeline done: %llu beats moved, %llu on the wire, "
+              "LLC %llu hits / %llu misses, faults=%zu\n",
+              static_cast<unsigned long long>(sys.dma_engine().beats_moved()),
+              static_cast<unsigned long long>(sys.ethernet().frames_txed()),
+              static_cast<unsigned long long>(sys.llc().hits()),
+              static_cast<unsigned long long>(sys.llc().misses()),
+              sys.tmu().fault_log().size());
+
+  // The Fc perf log doubles as a pipeline profiler.
+  const auto& st = sys.tmu().write_guard().stats();
+  std::printf("ethernet write phases (mean cycles): entry=%.1f data=%.1f "
+              "resp=%.1f  (over %llu writes)\n",
+              st.phase[1].mean(), st.phase[3].mean(), st.phase[4].mean(),
+              static_cast<unsigned long long>(st.completed));
+  vcd.flush();
+  std::printf("waveform written to /tmp/tmu_ethernet.vcd\n");
+  return 0;
+}

@@ -1,0 +1,156 @@
+#include "area/area_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace area {
+
+namespace {
+
+unsigned clog2(std::uint64_t v) {
+  unsigned bits = 0;
+  std::uint64_t x = 1;
+  while (x < v) {
+    x <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+/// Largest time budget any counter of this config must represent.
+std::uint32_t max_budget_cycles(const tmu::TmuConfig& cfg) {
+  if (cfg.variant == tmu::Variant::kTinyCounter) {
+    return std::max(cfg.tc_total_budget, cfg.max_txn_cycles);
+  }
+  const tmu::PhaseBudgets& b = cfg.budgets;
+  std::uint32_t m = cfg.max_txn_cycles;
+  for (std::uint32_t v : {b.aw_vld_aw_rdy, b.aw_rdy_w_vld, b.w_vld_w_rdy,
+                          b.w_first_w_last, b.w_last_b_vld, b.b_vld_b_rdy,
+                          b.ar_vld_ar_rdy, b.ar_rdy_r_vld, b.r_vld_r_rdy,
+                          b.r_vld_r_last}) {
+    m = std::max(m, v);
+  }
+  return m;
+}
+
+}  // namespace
+
+unsigned counter_width(std::uint32_t budget_cycles, std::uint32_t step) {
+  if (step == 0) step = 1;
+  // Same conservative limit as tmu::PrescaledCounter::arm.
+  std::uint32_t limit;
+  if (step == 1) {
+    limit = budget_cycles ? budget_cycles : 1;
+  } else {
+    limit = std::max<std::uint32_t>(2, budget_cycles / step + 1);
+  }
+  return std::max(1u, clog2(limit + 1));
+}
+
+unsigned ld_entry_bits(const tmu::TmuConfig& cfg, bool write_guard) {
+  const unsigned cw = counter_width(max_budget_cycles(cfg),
+                                    cfg.prescaler_step);
+  const unsigned ptr = std::max(1u, clog2(cfg.max_outstanding()));
+  const unsigned tid = std::max(1u, clog2(cfg.max_uniq_ids));
+  const unsigned sticky = cfg.sticky_bit ? 1u : 0u;
+
+  // Fields common to both variants: valid, accepted, tID, AWLEN/ARLEN,
+  // beat counter, FSM phase, linked-list next pointer.
+  const unsigned phases = write_guard ? tmu::kNumWritePhases
+                                      : tmu::kNumReadPhases;
+  const unsigned common = 1 + 1 + tid + 8 + 8 + clog2(phases + 1) + ptr;
+
+  if (cfg.variant == tmu::Variant::kTinyCounter) {
+    // One watchdog counter, its (adaptive) budget register and the
+    // whole-transaction latency accumulator (Tc reports timing metrics,
+    // Table II); all three follow the prescaler resolution.
+    return common + cw + cw + std::min(9u, cw + 2) + sticky;
+  }
+  // Full-Counter: one watchdog and one (adaptive) budget register per
+  // phase, one total-latency accumulator for the performance log, and
+  // per-phase latency snapshot registers. The snapshots stay at full
+  // 8-bit resolution — the detailed performance log is the Fc's headline
+  // feature — which is why the prescaler saves relatively less area on
+  // Fc (19-32%) than on Tc (18-39%).
+  return common + phases * cw + phases * cw + sticky + 9 + phases * 8;
+}
+
+AreaBreakdown estimate(const tmu::TmuConfig& cfg, const Gf12Costs& c) {
+  AreaBreakdown a;
+  const std::uint32_t n = cfg.max_outstanding();
+  const std::uint32_t ids = cfg.max_uniq_ids;
+  const unsigned ptr = std::max(1u, clog2(n));
+  const unsigned cw = counter_width(max_budget_cycles(cfg),
+                                    cfg.prescaler_step);
+  const unsigned phases_total =
+      cfg.variant == tmu::Variant::kFullCounter
+          ? tmu::kNumWritePhases + tmu::kNumReadPhases
+          : 2;  // one active comparator per guard
+
+  // LD tables: both guards, n entries each.
+  const unsigned ld_bits =
+      n * (ld_entry_bits(cfg, true) + ld_entry_bits(cfg, false));
+  a.ld_table = ld_bits * c.um2_per_flop;
+
+  // HT tables: head + tail pointer and a per-ID occupancy counter.
+  const unsigned ht_bits = 2 * ids * (2 * ptr + 1 + clog2(n + 1));
+  a.ht_table = ht_bits * c.um2_per_flop;
+
+  // EI tables: enqueue-order FIFO of LD indices.
+  const unsigned ei_bits = 2 * (n * ptr + 2 * ptr);
+  a.ei_table = ei_bits * c.um2_per_flop;
+
+  // ID remapper: CAM of original IDs (8-bit AXI IDs) + outstanding
+  // counters per slot, for each guard; match logic counted as gates.
+  const unsigned remap_bits = 2 * ids * (8 + clog2(n + 1));
+  a.remapper = remap_bits * c.um2_per_flop +
+               2 * ids * 8 * 1.5 * c.um2_per_ge;  // XOR-match + priority
+
+  // Budget comparators plus the per-entry next-state / increment /
+  // select logic, which scales with the counter width.
+  const double per_entry_logic_ge =
+      cfg.variant == tmu::Variant::kFullCounter ? 2 * (130.0 + 18.0 * cw)
+                                                : 2 * (40.0 + 10.0 * cw);
+  a.comparators = n * phases_total * cw * 1.2 * c.um2_per_ge +
+                  n * per_entry_logic_ge * c.um2_per_ge;
+
+  // Control: guard FSMs, channel gating muxes, abort generators,
+  // prescaler, and the active shadow of the configuration registers.
+  const double regfile = 4 * 32 * c.um2_per_flop;
+  const double fsm = 2 * 200 * c.um2_per_ge;
+  const double gating = 5 * 30 * c.um2_per_ge;
+  const double prescaler_logic =
+      cfg.prescaler_step > 1 ? (clog2(cfg.prescaler_step) + 2) * 8 *
+                                   c.um2_per_ge
+                             : 0.0;
+  a.control = regfile + fsm + gating + prescaler_logic;
+
+  a.total = (a.ld_table + a.ht_table + a.ei_table + a.remapper +
+             a.comparators + a.control) *
+            c.overhead;
+  return a;
+}
+
+tmu::TmuConfig paper_ip_config(tmu::Variant v, std::uint32_t outstanding,
+                               std::uint32_t prescaler_step, bool sticky) {
+  tmu::TmuConfig cfg;
+  cfg.variant = v;
+  cfg.max_uniq_ids = std::min<std::uint32_t>(4, outstanding);
+  cfg.txn_per_uniq_id =
+      std::max<std::uint32_t>(1, outstanding / cfg.max_uniq_ids);
+  cfg.max_txn_cycles = 256;
+  cfg.tc_total_budget = 256;
+  cfg.budgets.w_first_w_last = 256;
+  cfg.budgets.r_vld_r_last = 256;
+  cfg.prescaler_step = prescaler_step;
+  cfg.sticky_bit = sticky;
+  return cfg;
+}
+
+double paper_config_area(tmu::Variant v, std::uint32_t outstanding,
+                         std::uint32_t prescaler_step, bool sticky) {
+  return estimate(paper_ip_config(v, outstanding, prescaler_step, sticky))
+      .total;
+}
+
+}  // namespace area

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tmu/config.hpp"
+
+namespace area {
+
+/// Effective GlobalFoundries-12nm standard-cell costs, including
+/// clock-tree, routing and synthesis overhead. The two leading constants
+/// were calibrated once against the four area end points the paper
+/// reports in §III-A (Tc/Fc at 16 and 32 outstanding transactions,
+/// 4 unique IDs, 256-cycle budgets, no prescaler); everything else is a
+/// bit-accurate count of the storage and logic each configuration needs.
+struct Gf12Costs {
+  double um2_per_flop = 0.414;     ///< DFF incl. local routing
+  double um2_per_ge = 0.0675;      ///< NAND2-equivalent combinational
+  double overhead = 1.08;          ///< top-level integration overhead
+};
+
+/// Area split by TMU component (µm²).
+struct AreaBreakdown {
+  double ld_table = 0;     ///< LD entries of both guards (counters incl.)
+  double ht_table = 0;     ///< per-tID head/tail pointers
+  double ei_table = 0;     ///< enqueue-order FIFO
+  double remapper = 0;     ///< ID remap CAM + outstanding counters
+  double comparators = 0;  ///< per-entry budget comparators
+  double control = 0;      ///< guard FSMs, gating, prescaler, regfile
+  double total = 0;
+};
+
+/// Width in bits of a counter that must count to `budget_cycles` when
+/// incremented once every `step` cycles.
+unsigned counter_width(std::uint32_t budget_cycles, std::uint32_t step);
+
+/// Bits in one LD entry of the given variant (one guard's table).
+unsigned ld_entry_bits(const tmu::TmuConfig& cfg, bool write_guard);
+
+/// Full-TMU area estimate (write + read guard, remapper, control).
+AreaBreakdown estimate(const tmu::TmuConfig& cfg,
+                       const Gf12Costs& costs = Gf12Costs{});
+
+/// Convenience: total µm² for a (variant, outstanding, prescaler) point
+/// using the paper's IP-evaluation setup (4 unique IDs, 256-cycle
+/// budgets).
+double paper_config_area(tmu::Variant v, std::uint32_t outstanding,
+                         std::uint32_t prescaler_step, bool sticky);
+
+/// The TmuConfig used for the paper's IP-level evaluation (§III-A):
+/// 4 unique IDs, `outstanding` total transactions, budgets sized for
+/// transactions of up to 256 cycles.
+tmu::TmuConfig paper_ip_config(tmu::Variant v, std::uint32_t outstanding,
+                               std::uint32_t prescaler_step, bool sticky);
+
+}  // namespace area

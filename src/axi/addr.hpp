@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+
+#include "axi/types.hpp"
+
+namespace axi {
+
+/// Address of the i-th beat of a burst, per the AXI4 specification
+/// (IHI0022, "Burst address"). The start address is assumed aligned for
+/// WRAP bursts (the protocol requires it; the scoreboard checks it).
+inline Addr beat_addr(Addr start, std::uint8_t size, std::uint8_t len,
+                      Burst burst, unsigned beat) {
+  const std::uint64_t nbytes = beat_bytes(size);
+  switch (burst) {
+    case Burst::kFixed:
+      return start;
+    case Burst::kIncr: {
+      const Addr aligned = start & ~(nbytes - 1);
+      return beat == 0 ? start : aligned + beat * nbytes;
+    }
+    case Burst::kWrap: {
+      const std::uint64_t container = nbytes * beats(len);
+      const Addr wrap_lo = start & ~(container - 1);
+      Addr a = start + beat * nbytes;
+      if (a >= wrap_lo + container) a -= container;
+      return a;
+    }
+  }
+  return start;
+}
+
+/// True iff the burst stays inside one 4 KiB page (AXI4 requirement for
+/// INCR bursts).
+inline bool within_4k(Addr start, std::uint8_t size, std::uint8_t len) {
+  const Addr last = start + beat_bytes(size) * beats(len) - 1;
+  return (start >> 12) == (last >> 12);
+}
+
+/// True iff len encodes a legal WRAP burst length (2, 4, 8 or 16 beats).
+inline bool legal_wrap_len(std::uint8_t len) {
+  const unsigned b = beats(len);
+  return b == 2 || b == 4 || b == 8 || b == 16;
+}
+
+}  // namespace axi

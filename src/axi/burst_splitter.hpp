@@ -1,0 +1,201 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "axi/addr.hpp"
+#include "axi/link.hpp"
+#include "axi/types.hpp"
+#include "sim/module.hpp"
+
+namespace axi {
+
+/// Burst splitter (atomizer): converts long INCR bursts into chunks of
+/// at most `max_len + 1` beats, the standard adapter in front of
+/// endpoints with limited burst support. Write responses are merged
+/// (one upstream B per original burst, worst response wins); read data
+/// is re-threaded (RLAST suppressed on interior chunk boundaries).
+///
+/// Restrictions (checked by assertion in debug builds, documented here):
+/// one outstanding write and one outstanding read at a time — the
+/// typical deployment is directly in front of a simple peripheral.
+class BurstSplitter : public sim::Module {
+ public:
+  BurstSplitter(std::string name, Link& up, Link& down,
+                std::uint8_t max_len = 15)
+      : sim::Module(std::move(name)), up_(up), down_(down),
+        max_beats_(unsigned{max_len} + 1) {}
+
+  void eval() override {
+    const AxiReq uq = up_.req.read();
+    const AxiRsp ds = down_.rsp.read();
+    AxiReq dq{};
+    AxiRsp us{};
+
+    // ---- write path ----
+    if (w_active_) {
+      // Present the current chunk's AW until accepted, then pass W.
+      if (!w_chunk_sent_) {
+        dq.aw_valid = true;
+        dq.aw = AwFlit{w_orig_.id, chunk_addr_w_(), chunk_len_w_(),
+                       w_orig_.size, Burst::kIncr};
+      } else {
+        dq.w_valid = uq.w_valid;
+        dq.w = uq.w;
+        dq.w.last = w_chunk_beat_ + 1 == chunk_beats_w_();
+        us.w_ready = ds.w_ready;
+      }
+      dq.b_ready = true;  // splitter consumes interior B responses
+      if (b_pending_up_) {
+        us.b_valid = true;
+        us.b = BFlit{w_orig_.id, w_resp_};
+      }
+    } else {
+      us.aw_ready = uq.aw_valid;  // absorb a new AW immediately
+      if (b_pending_up_) {
+        us.b_valid = true;
+        us.b = BFlit{w_orig_.id, w_resp_};
+      }
+    }
+
+    // ---- read path ----
+    if (r_active_) {
+      if (!r_chunk_sent_) {
+        dq.ar_valid = true;
+        dq.ar = ArFlit{r_orig_.id, chunk_addr_r_(), chunk_len_r_(),
+                       r_orig_.size, Burst::kIncr};
+      }
+      if (ds.r_valid) {
+        us.r_valid = true;
+        us.r = ds.r;
+        us.r.last = r_done_beats_ + r_chunk_beat_ + 1 == beats(r_orig_.len);
+        dq.r_ready = uq.r_ready;
+      }
+    } else {
+      us.ar_ready = uq.ar_valid;
+    }
+
+    down_.req.write(dq);
+    up_.rsp.write(us);
+  }
+
+  void tick() override {
+    const AxiReq uq = up_.req.read();
+    const AxiRsp us = up_.rsp.read();
+    const AxiReq dq = down_.req.read();
+    const AxiRsp ds = down_.rsp.read();
+
+    // Accept new upstream bursts.
+    if (uq.aw_valid && us.aw_ready) {
+      w_orig_ = uq.aw;
+      w_active_ = true;
+      w_chunk_sent_ = false;
+      w_done_beats_ = 0;
+      w_chunk_beat_ = 0;
+      w_resp_ = Resp::kOkay;
+    }
+    if (uq.ar_valid && us.ar_ready) {
+      r_orig_ = uq.ar;
+      r_active_ = true;
+      r_chunk_sent_ = false;
+      r_done_beats_ = 0;
+      r_chunk_beat_ = 0;
+    }
+
+    // Downstream write progress.
+    if (w_active_) {
+      if (dq.aw_valid && ds.aw_ready) w_chunk_sent_ = true;
+      if (dq.w_valid && ds.w_ready) {
+        ++w_chunk_beat_;
+        if (w_chunk_beat_ == chunk_beats_w_()) {
+          w_done_beats_ += w_chunk_beat_;
+          w_chunk_beat_ = 0;
+          w_chunk_sent_ = false;
+          if (w_done_beats_ == beats(w_orig_.len)) w_data_done_ = true;
+        }
+      }
+      if (ds.b_valid && dq.b_ready) {
+        if (ds.b.resp != Resp::kOkay) w_resp_ = ds.b.resp;
+        ++w_bs_seen_;
+        const unsigned chunks =
+            (beats(w_orig_.len) + max_beats_ - 1) / max_beats_;
+        if (w_data_done_ && w_bs_seen_ == chunks) {
+          b_pending_up_ = true;
+          w_active_ = false;
+          w_data_done_ = false;
+          w_bs_seen_ = 0;
+        }
+      }
+    }
+    if (us.b_valid && uq.b_ready) b_pending_up_ = false;
+
+    // Downstream read progress.
+    if (r_active_) {
+      if (dq.ar_valid && ds.ar_ready) r_chunk_sent_ = true;
+      if (ds.r_valid && dq.r_ready) {
+        ++r_chunk_beat_;
+        if (r_chunk_beat_ == chunk_beats_r_()) {
+          r_done_beats_ += r_chunk_beat_;
+          r_chunk_beat_ = 0;
+          r_chunk_sent_ = false;
+          if (r_done_beats_ == beats(r_orig_.len)) r_active_ = false;
+        }
+      }
+    }
+  }
+
+  void reset() override {
+    w_active_ = r_active_ = false;
+    w_chunk_sent_ = r_chunk_sent_ = false;
+    w_data_done_ = b_pending_up_ = false;
+    w_done_beats_ = r_done_beats_ = 0;
+    w_chunk_beat_ = r_chunk_beat_ = 0;
+    w_bs_seen_ = 0;
+    w_resp_ = Resp::kOkay;
+    down_.req.force(AxiReq{});
+    up_.rsp.force(AxiRsp{});
+  }
+
+ private:
+  unsigned chunk_beats_w_() const {
+    return std::min<unsigned>(max_beats_, beats(w_orig_.len) - w_done_beats_);
+  }
+  std::uint8_t chunk_len_w_() const {
+    return static_cast<std::uint8_t>(chunk_beats_w_() - 1);
+  }
+  Addr chunk_addr_w_() const {
+    return w_orig_.addr + Addr{w_done_beats_} * beat_bytes(w_orig_.size);
+  }
+  unsigned chunk_beats_r_() const {
+    return std::min<unsigned>(max_beats_, beats(r_orig_.len) - r_done_beats_);
+  }
+  std::uint8_t chunk_len_r_() const {
+    return static_cast<std::uint8_t>(chunk_beats_r_() - 1);
+  }
+  Addr chunk_addr_r_() const {
+    return r_orig_.addr + Addr{r_done_beats_} * beat_bytes(r_orig_.size);
+  }
+
+  Link& up_;
+  Link& down_;
+  unsigned max_beats_;
+
+  AwFlit w_orig_{};
+  bool w_active_ = false;
+  bool w_chunk_sent_ = false;
+  bool w_data_done_ = false;
+  bool b_pending_up_ = false;
+  unsigned w_done_beats_ = 0;
+  unsigned w_chunk_beat_ = 0;
+  unsigned w_bs_seen_ = 0;
+  Resp w_resp_ = Resp::kOkay;
+
+  ArFlit r_orig_{};
+  bool r_active_ = false;
+  bool r_chunk_sent_ = false;
+  unsigned r_done_beats_ = 0;
+  unsigned r_chunk_beat_ = 0;
+};
+
+}  // namespace axi

@@ -1,0 +1,292 @@
+#include "axi/crossbar.hpp"
+
+#include <cassert>
+
+namespace axi {
+
+Crossbar::Crossbar(std::string name, std::vector<Link*> managers,
+                   std::vector<Link*> subordinates, std::vector<AddrRange> map,
+                   unsigned id_shift)
+    : sim::Module(std::move(name)),
+      mgrs_(std::move(managers)),
+      subs_(std::move(subordinates)),
+      map_(std::move(map)),
+      id_shift_(id_shift),
+      w_route_(subs_.size()),
+      mgr_w_route_(mgrs_.size()),
+      aw_rr_(subs_.size(), 0),
+      ar_rr_(subs_.size(), 0),
+      b_rr_(mgrs_.size(), 0),
+      r_rr_(mgrs_.size(), 0),
+      aw_id_route_(mgrs_.size()),
+      ar_id_route_(mgrs_.size()) {}
+
+std::size_t Crossbar::decode(Addr a) const {
+  for (const AddrRange& r : map_) {
+    if (r.contains(a)) return r.sub_index;
+  }
+  return kDecErr;
+}
+
+void Crossbar::eval() {
+  const std::size_t n_m = mgrs_.size();
+  const std::size_t n_s = subs_.size();
+  const Id id_mask = (Id{1} << id_shift_) - 1;
+
+  std::vector<AxiReq> sub_req(n_s);
+  std::vector<AxiRsp> mgr_rsp(n_m);
+
+  // ------------------------- AW arbitration -------------------------
+  for (std::size_t s = 0; s < n_s; ++s) {
+    for (std::size_t k = 0; k < n_m; ++k) {
+      const std::size_t m = (aw_rr_[s] + k) % n_m;
+      const AxiReq& mq = mgrs_[m]->req.read();
+      if (mq.aw_valid && decode(mq.aw.addr) == s &&
+          id_route_allows(aw_id_route_[m], mq.aw.id, s)) {
+        sub_req[s].aw_valid = true;
+        sub_req[s].aw = mq.aw;
+        sub_req[s].aw.id = (mq.aw.id & id_mask) |
+                           (static_cast<Id>(m) << id_shift_);
+        mgr_rsp[m].aw_ready = subs_[s]->rsp.read().aw_ready;
+        break;
+      }
+    }
+  }
+  // AW to the DECERR default subordinate: always ready.
+  for (std::size_t m = 0; m < n_m; ++m) {
+    const AxiReq& mq = mgrs_[m]->req.read();
+    if (mq.aw_valid && decode(mq.aw.addr) == kDecErr &&
+        id_route_allows(aw_id_route_[m], mq.aw.id, kDecErr)) {
+      mgr_rsp[m].aw_ready = true;
+    }
+  }
+
+  // --------------------------- W routing ----------------------------
+  for (std::size_t s = 0; s < n_s; ++s) {
+    if (w_route_[s].empty()) continue;
+    const std::size_t m = w_route_[s].front();
+    if (mgr_w_route_[m].empty() || mgr_w_route_[m].front() != s) continue;
+    const AxiReq& mq = mgrs_[m]->req.read();
+    sub_req[s].w_valid = mq.w_valid;
+    sub_req[s].w = mq.w;
+    mgr_rsp[m].w_ready = subs_[s]->rsp.read().w_ready;
+  }
+  // W beats destined for the DECERR subordinate: swallow at full rate.
+  for (std::size_t m = 0; m < n_m; ++m) {
+    if (!mgr_w_route_[m].empty() && mgr_w_route_[m].front() == kDecErr) {
+      mgr_rsp[m].w_ready = mgrs_[m]->req.read().w_valid;
+    }
+  }
+
+  // ------------------------- AR arbitration -------------------------
+  for (std::size_t s = 0; s < n_s; ++s) {
+    for (std::size_t k = 0; k < n_m; ++k) {
+      const std::size_t m = (ar_rr_[s] + k) % n_m;
+      const AxiReq& mq = mgrs_[m]->req.read();
+      if (mq.ar_valid && decode(mq.ar.addr) == s &&
+          id_route_allows(ar_id_route_[m], mq.ar.id, s)) {
+        sub_req[s].ar_valid = true;
+        sub_req[s].ar = mq.ar;
+        sub_req[s].ar.id = (mq.ar.id & id_mask) |
+                           (static_cast<Id>(m) << id_shift_);
+        mgr_rsp[m].ar_ready = subs_[s]->rsp.read().ar_ready;
+        break;
+      }
+    }
+  }
+  for (std::size_t m = 0; m < n_m; ++m) {
+    const AxiReq& mq = mgrs_[m]->req.read();
+    if (mq.ar_valid && decode(mq.ar.addr) == kDecErr &&
+        id_route_allows(ar_id_route_[m], mq.ar.id, kDecErr)) {
+      mgr_rsp[m].ar_ready = true;
+    }
+  }
+
+  // --------------------------- B routing ----------------------------
+  for (std::size_t m = 0; m < n_m; ++m) {
+    // Sources: each sub with b_valid for this manager, plus the DECERR
+    // queue. Round-robin over n_s + 1 virtual sources.
+    for (std::size_t k = 0; k <= n_s; ++k) {
+      const std::size_t src = (b_rr_[m] + k) % (n_s + 1);
+      if (src < n_s) {
+        const AxiRsp& sr = subs_[src]->rsp.read();
+        if (sr.b_valid && (sr.b.id >> id_shift_) == m) {
+          mgr_rsp[m].b_valid = true;
+          mgr_rsp[m].b = BFlit{sr.b.id & id_mask, sr.b.resp};
+          sub_req[src].b_ready = mgrs_[m]->req.read().b_ready;
+          break;
+        }
+      } else {
+        // DECERR source: oldest finished write for this manager.
+        for (const DecErrTxn& t : dec_q_) {
+          if (t.mgr == m && t.is_write && t.data_done) {
+            mgr_rsp[m].b_valid = true;
+            mgr_rsp[m].b = BFlit{t.id, Resp::kDecErr};
+            break;
+          }
+        }
+        if (mgr_rsp[m].b_valid) break;
+      }
+    }
+  }
+
+  // --------------------------- R routing ----------------------------
+  for (std::size_t m = 0; m < n_m; ++m) {
+    for (std::size_t k = 0; k <= n_s; ++k) {
+      const std::size_t src = (r_rr_[m] + k) % (n_s + 1);
+      if (src < n_s) {
+        const AxiRsp& sr = subs_[src]->rsp.read();
+        if (sr.r_valid && (sr.r.id >> id_shift_) == m) {
+          mgr_rsp[m].r_valid = true;
+          mgr_rsp[m].r = RFlit{sr.r.id & id_mask, sr.r.data, sr.r.resp,
+                               sr.r.last};
+          sub_req[src].r_ready = mgrs_[m]->req.read().r_ready;
+          break;
+        }
+      } else {
+        for (const DecErrTxn& t : dec_q_) {
+          if (t.mgr == m && !t.is_write) {
+            mgr_rsp[m].r_valid = true;
+            mgr_rsp[m].r = RFlit{t.id, 0, Resp::kDecErr, t.beats_left == 1};
+            break;
+          }
+        }
+        if (mgr_rsp[m].r_valid) break;
+      }
+    }
+  }
+
+  for (std::size_t s = 0; s < n_s; ++s) subs_[s]->req.write(sub_req[s]);
+  for (std::size_t m = 0; m < n_m; ++m) mgrs_[m]->rsp.write(mgr_rsp[m]);
+}
+
+void Crossbar::tick() {
+  const std::size_t n_m = mgrs_.size();
+  const std::size_t n_s = subs_.size();
+
+  // Observe settled wires.
+  for (std::size_t m = 0; m < n_m; ++m) {
+    const AxiReq& mq = mgrs_[m]->req.read();
+    const AxiRsp& mr = mgrs_[m]->rsp.read();
+
+    if (aw_fire(mq, mr)) {
+      const std::size_t s = decode(mq.aw.addr);
+      IdRoute& route = aw_id_route_[m][mq.aw.id];
+      route.sub = s;
+      ++route.count;
+      if (s == kDecErr) {
+        dec_q_.push_back(DecErrTxn{mq.aw.id, m, true, 0, false});
+        mgr_w_route_[m].push_back(kDecErr);
+        ++decode_errors_;
+      } else {
+        w_route_[s].push_back(m);
+        mgr_w_route_[m].push_back(s);
+        aw_rr_[s] = (m + 1) % n_m;
+      }
+    }
+    if (ar_fire(mq, mr)) {
+      const std::size_t s = decode(mq.ar.addr);
+      IdRoute& route = ar_id_route_[m][mq.ar.id];
+      route.sub = s;
+      ++route.count;
+      if (s == kDecErr) {
+        dec_q_.push_back(
+            DecErrTxn{mq.ar.id, m, false, beats(mq.ar.len), false});
+        ++decode_errors_;
+      } else {
+        ar_rr_[s] = (m + 1) % n_m;
+      }
+    }
+    // W beat consumed.
+    if (w_fire(mq, mr)) {
+      assert(!mgr_w_route_[m].empty());
+      const std::size_t s = mgr_w_route_[m].front();
+      if (s == kDecErr) {
+        if (mq.w.last) {
+          for (DecErrTxn& t : dec_q_) {
+            if (t.mgr == m && t.is_write && !t.data_done) {
+              t.data_done = true;
+              break;
+            }
+          }
+          mgr_w_route_[m].pop_front();
+        }
+      } else if (mq.w.last) {
+        mgr_w_route_[m].pop_front();
+        w_route_[s].pop_front();
+      }
+    }
+    // B delivered.
+    if (b_fire(mq, mr)) {
+      auto rit = aw_id_route_[m].find(mr.b.id);
+      if (rit != aw_id_route_[m].end() && rit->second.count > 0) {
+        --rit->second.count;
+      }
+      // If it came from the DECERR queue, retire that entry.
+      bool from_sub = false;
+      for (std::size_t s = 0; s < n_s; ++s) {
+        const AxiRsp& sr = subs_[s]->rsp.read();
+        if (sr.b_valid && subs_[s]->req.read().b_ready &&
+            (sr.b.id >> id_shift_) == m) {
+          from_sub = true;
+          b_rr_[m] = (s + 1) % (n_s + 1);
+          break;
+        }
+      }
+      if (!from_sub) {
+        for (auto it = dec_q_.begin(); it != dec_q_.end(); ++it) {
+          if (it->mgr == m && it->is_write && it->data_done) {
+            dec_q_.erase(it);
+            break;
+          }
+        }
+        b_rr_[m] = 0;
+      }
+    }
+    // R beat delivered.
+    if (r_fire(mq, mr)) {
+      if (mr.r.last) {
+        auto rit = ar_id_route_[m].find(mr.r.id);
+        if (rit != ar_id_route_[m].end() && rit->second.count > 0) {
+          --rit->second.count;
+        }
+      }
+      bool from_sub = false;
+      for (std::size_t s = 0; s < n_s; ++s) {
+        const AxiRsp& sr = subs_[s]->rsp.read();
+        if (sr.r_valid && subs_[s]->req.read().r_ready &&
+            (sr.r.id >> id_shift_) == m) {
+          from_sub = true;
+          r_rr_[m] = (s + 1) % (n_s + 1);
+          break;
+        }
+      }
+      if (!from_sub) {
+        for (auto it = dec_q_.begin(); it != dec_q_.end(); ++it) {
+          if (it->mgr == m && !it->is_write) {
+            if (--it->beats_left == 0) dec_q_.erase(it);
+            break;
+          }
+        }
+        r_rr_[m] = 0;
+      }
+    }
+  }
+}
+
+void Crossbar::reset() {
+  for (auto& q : w_route_) q.clear();
+  for (auto& q : mgr_w_route_) q.clear();
+  std::fill(aw_rr_.begin(), aw_rr_.end(), 0);
+  std::fill(ar_rr_.begin(), ar_rr_.end(), 0);
+  std::fill(b_rr_.begin(), b_rr_.end(), 0);
+  std::fill(r_rr_.begin(), r_rr_.end(), 0);
+  for (auto& m : aw_id_route_) m.clear();
+  for (auto& m : ar_id_route_) m.clear();
+  dec_q_.clear();
+  decode_errors_ = 0;
+  for (Link* s : subs_) s->req.force(AxiReq{});
+  for (Link* m : mgrs_) m->rsp.force(AxiRsp{});
+}
+
+}  // namespace axi

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "axi/types.hpp"
+#include "sim/wire.hpp"
+
+namespace axi {
+
+/// One AXI4 point-to-point connection: the manager drives `req`, the
+/// subordinate drives `rsp`.
+struct Link {
+  sim::Wire<AxiReq> req;
+  sim::Wire<AxiRsp> rsp;
+};
+
+/// Handshake helpers over settled wires (call from tick()).
+inline bool aw_fire(const AxiReq& q, const AxiRsp& s) {
+  return q.aw_valid && s.aw_ready;
+}
+inline bool w_fire(const AxiReq& q, const AxiRsp& s) {
+  return q.w_valid && s.w_ready;
+}
+inline bool b_fire(const AxiReq& q, const AxiRsp& s) {
+  return s.b_valid && q.b_ready;
+}
+inline bool ar_fire(const AxiReq& q, const AxiRsp& s) {
+  return q.ar_valid && s.ar_ready;
+}
+inline bool r_fire(const AxiReq& q, const AxiRsp& s) {
+  return s.r_valid && q.r_ready;
+}
+
+}  // namespace axi

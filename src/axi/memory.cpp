@@ -1,0 +1,161 @@
+#include "axi/memory.hpp"
+
+#include "axi/addr.hpp"
+
+namespace axi {
+
+MemorySubordinate::MemorySubordinate(std::string name, Link& link,
+                                     MemoryConfig cfg)
+    : sim::Module(std::move(name)), link_(link), cfg_(cfg) {}
+
+void MemorySubordinate::store_beat(Addr a, std::uint8_t size, Data data,
+                                   std::uint8_t strb) {
+  const std::uint64_t nbytes = beat_bytes(size);
+  const Addr base = a & ~(nbytes - 1);
+  for (std::uint64_t i = 0; i < nbytes && i < 8; ++i) {
+    if (strb & (1u << i)) {
+      mem_[base + i] = static_cast<std::uint8_t>(data >> (8 * i));
+    }
+  }
+}
+
+Data MemorySubordinate::load_beat(Addr a, std::uint8_t size) const {
+  const std::uint64_t nbytes = beat_bytes(size);
+  const Addr base = a & ~(nbytes - 1);
+  Data d = 0;
+  for (std::uint64_t i = 0; i < nbytes && i < 8; ++i) {
+    auto it = mem_.find(base + i);
+    if (it != mem_.end()) d |= Data{it->second} << (8 * i);
+  }
+  return d;
+}
+
+std::uint64_t MemorySubordinate::peek_beat(Addr a, std::uint8_t size) const {
+  return load_beat(a, size);
+}
+
+void MemorySubordinate::eval() {
+  AxiRsp s{};
+
+  // AW ready: after the configured wait, when there is queue space.
+  s.aw_ready = write_q_.size() < cfg_.max_outstanding &&
+               aw_wait_ >= cfg_.aw_accept_latency;
+
+  // W ready: a write burst is open and the beat-rate counter allows.
+  const bool write_open = !write_q_.empty() && !write_q_.front().data_done;
+  s.w_ready = write_open && w_rate_cnt_ == 0;
+
+  // B: oldest pending response whose latency elapsed.
+  if (!b_q_.empty() && b_q_.front().ready_at <= cycle_) {
+    s.b_valid = true;
+    s.b = BFlit{b_q_.front().id, b_q_.front().resp};
+  }
+
+  // AR ready.
+  s.ar_ready = read_q_.size() < cfg_.max_outstanding &&
+               ar_wait_ >= cfg_.ar_accept_latency;
+
+  // R: oldest read streams beats.
+  if (!read_q_.empty() && read_q_.front().ready_at <= cycle_ &&
+      r_rate_cnt_ == 0) {
+    const ReadTxn& t = read_q_.front();
+    const Addr a =
+        beat_addr(t.ar.addr, t.ar.size, t.ar.len, t.ar.burst, t.next_beat);
+    s.r_valid = true;
+    s.r = RFlit{t.ar.id, in_error_region(a) ? Data{0} : load_beat(a, t.ar.size),
+                in_error_region(a) ? Resp::kSlvErr : Resp::kOkay,
+                t.next_beat + 1 == beats(t.ar.len)};
+  }
+
+  link_.rsp.write(s);
+}
+
+void MemorySubordinate::tick() {
+  const AxiReq q = link_.req.read();
+  const AxiRsp s = link_.rsp.read();
+
+  if (clear_inflight_) {
+    write_q_.clear();
+    b_q_.clear();
+    read_q_.clear();
+    aw_wait_ = ar_wait_ = 0;
+    w_rate_cnt_ = r_rate_cnt_ = 0;
+    clear_inflight_ = false;
+    ++cycle_;
+    return;
+  }
+
+  // AW accept-latency counter.
+  if (q.aw_valid && !s.aw_ready) {
+    ++aw_wait_;
+  }
+  if (aw_fire(q, s)) {
+    write_q_.push_back(WriteTxn{q.aw, 0, false});
+    aw_wait_ = 0;
+  }
+
+  // W beat.
+  if (w_fire(q, s)) {
+    WriteTxn& t = write_q_.front();
+    const Addr a =
+        beat_addr(t.aw.addr, t.aw.size, t.aw.len, t.aw.burst, t.beats_got);
+    const bool err = in_error_region(a);
+    if (!err) store_beat(a, t.aw.size, q.w.data, q.w.strb);
+    ++t.beats_got;
+    if (q.w.last || t.beats_got == beats(t.aw.len)) {
+      t.data_done = true;
+      b_q_.push_back(PendingB{t.aw.id,
+                              in_error_region(t.aw.addr) ? Resp::kSlvErr
+                                                         : Resp::kOkay,
+                              cycle_ + cfg_.b_latency});
+      write_q_.pop_front();
+      ++writes_done_;
+    }
+    w_rate_cnt_ = cfg_.w_ready_every > 1 ? cfg_.w_ready_every - 1 : 0;
+  } else if (w_rate_cnt_ > 0) {
+    --w_rate_cnt_;
+  }
+
+  // B handshake.
+  if (b_fire(q, s)) {
+    b_q_.pop_front();
+  }
+
+  // AR accept.
+  if (q.ar_valid && !s.ar_ready) {
+    ++ar_wait_;
+  }
+  if (ar_fire(q, s)) {
+    read_q_.push_back(ReadTxn{q.ar, 0, cycle_ + cfg_.r_first_latency});
+    ar_wait_ = 0;
+  }
+
+  // R beat.
+  if (r_fire(q, s)) {
+    ReadTxn& t = read_q_.front();
+    ++t.next_beat;
+    if (t.next_beat == beats(t.ar.len)) {
+      read_q_.pop_front();
+      ++reads_done_;
+    }
+    r_rate_cnt_ = cfg_.r_beat_every > 1 ? cfg_.r_beat_every - 1 : 0;
+  } else if (r_rate_cnt_ > 0) {
+    --r_rate_cnt_;
+  }
+
+  ++cycle_;
+}
+
+void MemorySubordinate::reset() {
+  write_q_.clear();
+  b_q_.clear();
+  read_q_.clear();
+  aw_wait_ = ar_wait_ = 0;
+  w_rate_cnt_ = r_rate_cnt_ = 0;
+  cycle_ = 0;
+  writes_done_ = reads_done_ = 0;
+  clear_inflight_ = false;
+  link_.rsp.force(AxiRsp{});
+}
+
+}  // namespace axi

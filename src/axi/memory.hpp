@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "axi/link.hpp"
+#include "axi/types.hpp"
+#include "sim/module.hpp"
+
+namespace axi {
+
+/// Timing/behaviour knobs for the memory model.
+struct MemoryConfig {
+  std::uint32_t aw_accept_latency = 0;  ///< cycles aw_valid waits for ready
+  std::uint32_t ar_accept_latency = 0;
+  std::uint32_t w_ready_every = 1;      ///< accept a W beat every N cycles
+  std::uint32_t b_latency = 1;          ///< wlast accept -> b_valid
+  std::uint32_t r_first_latency = 2;    ///< ar accept -> first r_valid
+  std::uint32_t r_beat_every = 1;       ///< R beat rate
+  std::size_t max_outstanding = 16;     ///< per direction
+  /// Addresses in [error_base, error_end) respond SLVERR.
+  Addr error_base = 0, error_end = 0;
+};
+
+/// AXI4 memory subordinate with sparse byte storage and configurable
+/// latencies. Moore-style: every output is a function of registered
+/// state. Services writes and reads independently, in arrival order
+/// (which also guarantees AXI same-ID ordering).
+class MemorySubordinate : public sim::Module {
+ public:
+  MemorySubordinate(std::string name, Link& link, MemoryConfig cfg = {});
+
+  void eval() override;
+  void tick() override;
+  void reset() override;
+
+  /// Backdoor accessors for tests.
+  std::uint8_t peek(Addr a) const {
+    auto it = mem_.find(a);
+    return it == mem_.end() ? 0 : it->second;
+  }
+  void poke(Addr a, std::uint8_t v) { mem_[a] = v; }
+  std::uint64_t peek_beat(Addr a, std::uint8_t size) const;
+
+  std::size_t writes_done() const { return writes_done_; }
+  std::size_t reads_done() const { return reads_done_; }
+
+  /// External hardware reset input (from a reset unit): clears all
+  /// in-flight state, keeps storage.
+  void hw_reset() { clear_inflight_ = true; }
+
+  const MemoryConfig& config() const { return cfg_; }
+
+ private:
+  struct WriteTxn {
+    AwFlit aw;
+    unsigned beats_got = 0;
+    bool data_done = false;
+  };
+  struct ReadTxn {
+    ArFlit ar;
+    unsigned next_beat = 0;
+    std::uint64_t ready_at = 0;
+  };
+  struct PendingB {
+    Id id;
+    Resp resp;
+    std::uint64_t ready_at;
+  };
+
+  bool in_error_region(Addr a) const {
+    return cfg_.error_end > cfg_.error_base && a >= cfg_.error_base &&
+           a < cfg_.error_end;
+  }
+  void store_beat(Addr a, std::uint8_t size, Data data, std::uint8_t strb);
+  Data load_beat(Addr a, std::uint8_t size) const;
+
+  Link& link_;
+  MemoryConfig cfg_;
+  std::unordered_map<Addr, std::uint8_t> mem_;
+
+  std::deque<WriteTxn> write_q_;
+  std::deque<PendingB> b_q_;
+  std::deque<ReadTxn> read_q_;
+
+  std::uint32_t aw_wait_ = 0;
+  std::uint32_t ar_wait_ = 0;
+  std::uint32_t w_rate_cnt_ = 0;
+  std::uint32_t r_rate_cnt_ = 0;
+  std::uint64_t cycle_ = 0;
+  std::size_t writes_done_ = 0, reads_done_ = 0;
+  bool clear_inflight_ = false;
+};
+
+}  // namespace axi

@@ -1,0 +1,140 @@
+#include "axi/scoreboard.hpp"
+
+#include <sstream>
+
+#include "axi/addr.hpp"
+
+namespace axi {
+
+Scoreboard::Scoreboard(std::string name, Link& link)
+    : sim::Module(std::move(name)), link_(link) {}
+
+void Scoreboard::flag(const std::string& rule, const std::string& detail) {
+  violations_.push_back(Violation{cycle_, rule, detail});
+}
+
+void Scoreboard::tick() {
+  const AxiReq q = link_.req.read();
+  const AxiRsp s = link_.rsp.read();
+
+  // ---- stability rules: payload must not change while valid && !ready ----
+  if (have_prev_) {
+    if (prev_q_.aw_valid && !prev_s_.aw_ready) {
+      if (!q.aw_valid) flag("AW_STABLE", "aw_valid dropped before ready");
+      else if (!(q.aw == prev_q_.aw)) flag("AW_STABLE", "aw payload changed");
+    }
+    if (prev_q_.w_valid && !prev_s_.w_ready) {
+      if (!q.w_valid) flag("W_STABLE", "w_valid dropped before ready");
+      else if (!(q.w == prev_q_.w)) flag("W_STABLE", "w payload changed");
+    }
+    if (prev_q_.ar_valid && !prev_s_.ar_ready) {
+      if (!q.ar_valid) flag("AR_STABLE", "ar_valid dropped before ready");
+      else if (!(q.ar == prev_q_.ar)) flag("AR_STABLE", "ar payload changed");
+    }
+    if (prev_s_.b_valid && !prev_q_.b_ready) {
+      if (!s.b_valid) flag("B_STABLE", "b_valid dropped before ready");
+      else if (!(s.b == prev_s_.b)) flag("B_STABLE", "b payload changed");
+    }
+    if (prev_s_.r_valid && !prev_q_.r_ready) {
+      if (!s.r_valid) flag("R_STABLE", "r_valid dropped before ready");
+      else if (!(s.r == prev_s_.r)) flag("R_STABLE", "r payload changed");
+    }
+  }
+
+  // ---- AW accepted ----
+  if (aw_fire(q, s)) {
+    if (q.aw.burst == Burst::kIncr && !within_4k(q.aw.addr, q.aw.size, q.aw.len)) {
+      flag("AW_4K", "INCR write burst crosses a 4KiB page");
+    }
+    if (q.aw.burst == Burst::kWrap && !legal_wrap_len(q.aw.len)) {
+      flag("AW_WRAP_LEN", "illegal WRAP burst length");
+    }
+    open_writes_.push_back(OpenWrite{q.aw, 0});
+    await_b_[q.aw.id].push_back(q.aw);
+  }
+
+  // ---- W beat ----
+  if (w_fire(q, s)) {
+    if (open_writes_.empty()) {
+      flag("W_NO_AW", "W beat without an open AW");
+    } else {
+      OpenWrite& ow = open_writes_.front();
+      ++ow.beats;
+      const bool should_be_last = ow.beats == beats(ow.aw.len);
+      if (q.w.last != should_be_last) {
+        std::ostringstream os;
+        os << "beat " << ow.beats << "/" << beats(ow.aw.len)
+           << " wlast=" << q.w.last;
+        flag("WLAST_POS", os.str());
+      }
+      if (q.w.last || should_be_last) open_writes_.pop_front();
+    }
+  }
+
+  // ---- B response ----
+  if (b_fire(q, s)) {
+    auto it = await_b_.find(s.b.id);
+    if (it == await_b_.end() || it->second.empty()) {
+      std::ostringstream os;
+      os << "B with id " << s.b.id << " but no outstanding write";
+      flag("B_UNREQUESTED", os.str());
+    } else {
+      it->second.pop_front();
+      ++completed_writes_;
+    }
+  }
+
+  // ---- AR accepted ----
+  if (ar_fire(q, s)) {
+    if (q.ar.burst == Burst::kIncr && !within_4k(q.ar.addr, q.ar.size, q.ar.len)) {
+      flag("AR_4K", "INCR read burst crosses a 4KiB page");
+    }
+    if (q.ar.burst == Burst::kWrap && !legal_wrap_len(q.ar.len)) {
+      flag("AR_WRAP_LEN", "illegal WRAP burst length");
+    }
+    await_r_[q.ar.id].push_back(OpenRead{q.ar, 0});
+  }
+
+  // ---- R beat ----
+  if (r_fire(q, s)) {
+    auto it = await_r_.find(s.r.id);
+    if (it == await_r_.end() || it->second.empty()) {
+      std::ostringstream os;
+      os << "R with id " << s.r.id << " but no outstanding read";
+      flag("R_UNREQUESTED", os.str());
+    } else {
+      OpenRead& orr = it->second.front();
+      ++orr.beats;
+      const bool should_be_last = orr.beats == beats(orr.ar.len);
+      if (s.r.last != should_be_last) {
+        std::ostringstream os;
+        os << "beat " << orr.beats << "/" << beats(orr.ar.len)
+           << " rlast=" << s.r.last;
+        flag("RLAST_POS", os.str());
+      }
+      if (s.r.last || should_be_last) {
+        it->second.pop_front();
+        ++completed_reads_;
+      }
+    }
+  }
+
+  prev_q_ = q;
+  prev_s_ = s;
+  have_prev_ = true;
+  ++cycle_;
+}
+
+void Scoreboard::reset() {
+  cycle_ = 0;
+  have_prev_ = false;
+  prev_q_ = {};
+  prev_s_ = {};
+  open_writes_.clear();
+  await_b_.clear();
+  await_r_.clear();
+  violations_.clear();
+  completed_writes_ = completed_reads_ = 0;
+}
+
+}  // namespace axi

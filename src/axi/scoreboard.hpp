@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "axi/link.hpp"
+#include "axi/types.hpp"
+#include "sim/module.hpp"
+
+namespace axi {
+
+/// A detected protocol violation.
+struct Violation {
+  std::uint64_t cycle = 0;
+  std::string rule;
+  std::string detail;
+};
+
+/// Passive AXI4 protocol-compliance observer for a single link.
+///
+/// Implements the subset of AXIChecker-style rules the paper's TMU also
+/// relies on: payload stability while valid && !ready, WLAST placement,
+/// B/R ID matching against outstanding requests, R beat counts and RLAST
+/// placement, unrequested responses, 4 KiB crossing and WRAP legality.
+///
+/// The models in this repo issue AW before the first W beat of a burst
+/// (a common interconnect guarantee); the scoreboard checks W beats
+/// against the oldest data-incomplete AW.
+class Scoreboard : public sim::Module {
+ public:
+  Scoreboard(std::string name, Link& link);
+
+  void tick() override;
+  void reset() override;
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::size_t violation_count() const { return violations_.size(); }
+  std::size_t completed_writes() const { return completed_writes_; }
+  std::size_t completed_reads() const { return completed_reads_; }
+
+ private:
+  void flag(const std::string& rule, const std::string& detail);
+
+  struct OpenWrite {
+    AwFlit aw;
+    unsigned beats = 0;
+  };
+  struct OpenRead {
+    ArFlit ar;
+    unsigned beats = 0;
+  };
+
+  Link& link_;
+  std::uint64_t cycle_ = 0;
+
+  // Stability tracking: last cycle's request/response.
+  AxiReq prev_q_{};
+  AxiRsp prev_s_{};
+  bool have_prev_ = false;
+
+  std::deque<OpenWrite> open_writes_;            ///< data phase tracking
+  std::map<Id, std::deque<AwFlit>> await_b_;     ///< B expected per ID
+  std::map<Id, std::deque<OpenRead>> await_r_;   ///< R expected per ID
+
+  std::vector<Violation> violations_;
+  std::size_t completed_writes_ = 0;
+  std::size_t completed_reads_ = 0;
+};
+
+}  // namespace axi

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "axi/link.hpp"
+#include "axi/types.hpp"
+#include "sim/module.hpp"
+
+namespace axi {
+
+/// One bus-level event captured by the tracer.
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kAw, kWBeat, kB, kAr, kRBeat,
+  };
+  std::uint64_t cycle = 0;
+  Kind kind = Kind::kAw;
+  Id id = 0;
+  Addr addr = 0;       ///< AW/AR only
+  std::uint8_t len = 0;
+  Resp resp = Resp::kOkay;  ///< B/R only
+  bool last = false;        ///< W/R only
+
+  std::string describe() const {
+    std::ostringstream os;
+    os << "@" << cycle << " ";
+    switch (kind) {
+      case Kind::kAw:
+        os << "AW id=" << id << " addr=0x" << std::hex << addr << std::dec
+           << " len=" << unsigned{len};
+        break;
+      case Kind::kWBeat:
+        os << "W " << (last ? "(last)" : "");
+        break;
+      case Kind::kB:
+        os << "B id=" << id << " " << to_string(resp);
+        break;
+      case Kind::kAr:
+        os << "AR id=" << id << " addr=0x" << std::hex << addr << std::dec
+           << " len=" << unsigned{len};
+        break;
+      case Kind::kRBeat:
+        os << "R id=" << id << " " << to_string(resp)
+           << (last ? " (last)" : "");
+        break;
+    }
+    return os.str();
+  }
+};
+
+/// Passive bus analyzer: records every handshake on a link into a
+/// bounded in-memory log. Useful for debugging examples/tests and as
+/// the data source for external waveform-style dumps.
+class Tracer : public sim::Module {
+ public:
+  Tracer(std::string name, Link& link, std::size_t capacity = 65536)
+      : sim::Module(std::move(name)), link_(link), capacity_(capacity) {}
+
+  void tick() override {
+    const AxiReq q = link_.req.read();
+    const AxiRsp s = link_.rsp.read();
+    if (aw_fire(q, s)) {
+      push({cycle_, TraceEvent::Kind::kAw, q.aw.id, q.aw.addr, q.aw.len,
+            Resp::kOkay, false});
+    }
+    if (w_fire(q, s)) {
+      push({cycle_, TraceEvent::Kind::kWBeat, 0, 0, 0, Resp::kOkay,
+            q.w.last});
+    }
+    if (b_fire(q, s)) {
+      push({cycle_, TraceEvent::Kind::kB, s.b.id, 0, 0, s.b.resp, false});
+    }
+    if (ar_fire(q, s)) {
+      push({cycle_, TraceEvent::Kind::kAr, q.ar.id, q.ar.addr, q.ar.len,
+            Resp::kOkay, false});
+    }
+    if (r_fire(q, s)) {
+      push({cycle_, TraceEvent::Kind::kRBeat, s.r.id, 0, 0, s.r.resp,
+            s.r.last});
+    }
+    ++cycle_;
+  }
+
+  void reset() override {
+    events_.clear();
+    dropped_ = 0;
+    cycle_ = 0;
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Events of one kind, in order.
+  std::vector<TraceEvent> filter(TraceEvent::Kind k) const {
+    std::vector<TraceEvent> out;
+    for (const auto& e : events_) {
+      if (e.kind == k) out.push_back(e);
+    }
+    return out;
+  }
+
+ private:
+  void push(const TraceEvent& e) {
+    if (events_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back(e);
+  }
+
+  Link& link_;
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace axi

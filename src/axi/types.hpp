@@ -1,0 +1,123 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace axi {
+
+using Id = std::uint32_t;
+using Addr = std::uint64_t;
+/// One data beat; the models use buses up to 64 bit.
+using Data = std::uint64_t;
+
+/// AXI4 burst type (AWBURST / ARBURST encoding).
+enum class Burst : std::uint8_t { kFixed = 0, kIncr = 1, kWrap = 2 };
+
+/// AXI4 response code (BRESP / RRESP encoding).
+enum class Resp : std::uint8_t {
+  kOkay = 0,
+  kExOkay = 1,
+  kSlvErr = 2,
+  kDecErr = 3,
+};
+
+inline const char* to_string(Resp r) {
+  switch (r) {
+    case Resp::kOkay: return "OKAY";
+    case Resp::kExOkay: return "EXOKAY";
+    case Resp::kSlvErr: return "SLVERR";
+    case Resp::kDecErr: return "DECERR";
+  }
+  return "?";
+}
+
+inline const char* to_string(Burst b) {
+  switch (b) {
+    case Burst::kFixed: return "FIXED";
+    case Burst::kIncr: return "INCR";
+    case Burst::kWrap: return "WRAP";
+  }
+  return "?";
+}
+
+/// AW channel payload (write address).
+struct AwFlit {
+  Id id = 0;
+  Addr addr = 0;
+  std::uint8_t len = 0;   ///< beats - 1, as in AWLEN
+  std::uint8_t size = 3;  ///< log2(bytes per beat), as in AWSIZE
+  Burst burst = Burst::kIncr;
+  bool operator==(const AwFlit&) const = default;
+};
+
+/// W channel payload (write data).
+struct WFlit {
+  Data data = 0;
+  std::uint8_t strb = 0xFF;
+  bool last = false;
+  bool operator==(const WFlit&) const = default;
+};
+
+/// B channel payload (write response).
+struct BFlit {
+  Id id = 0;
+  Resp resp = Resp::kOkay;
+  bool operator==(const BFlit&) const = default;
+};
+
+/// AR channel payload (read address).
+struct ArFlit {
+  Id id = 0;
+  Addr addr = 0;
+  std::uint8_t len = 0;
+  std::uint8_t size = 3;
+  Burst burst = Burst::kIncr;
+  bool operator==(const ArFlit&) const = default;
+};
+
+/// R channel payload (read data).
+struct RFlit {
+  Id id = 0;
+  Data data = 0;
+  Resp resp = Resp::kOkay;
+  bool last = false;
+  bool operator==(const RFlit&) const = default;
+};
+
+/// Manager -> subordinate signal bundle (requests + response readies),
+/// mirroring the pulp-platform axi_req_t convention.
+struct AxiReq {
+  AwFlit aw{};
+  bool aw_valid = false;
+  WFlit w{};
+  bool w_valid = false;
+  bool b_ready = false;
+  ArFlit ar{};
+  bool ar_valid = false;
+  bool r_ready = false;
+  bool operator==(const AxiReq&) const = default;
+};
+
+/// Subordinate -> manager signal bundle (readies + responses),
+/// mirroring the pulp-platform axi_rsp_t convention.
+struct AxiRsp {
+  bool aw_ready = false;
+  bool w_ready = false;
+  BFlit b{};
+  bool b_valid = false;
+  bool ar_ready = false;
+  RFlit r{};
+  bool r_valid = false;
+  bool operator==(const AxiRsp&) const = default;
+};
+
+/// Number of beats in a burst described by an AXI len field.
+inline unsigned beats(std::uint8_t len) { return unsigned{len} + 1u; }
+
+/// Bytes per beat for an AXI size field.
+inline std::uint64_t beat_bytes(std::uint8_t size) {
+  return std::uint64_t{1} << size;
+}
+
+}  // namespace axi

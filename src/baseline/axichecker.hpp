@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+
+#include "axi/scoreboard.hpp"
+#include "sim/module.hpp"
+#include "sim/wire.hpp"
+
+namespace baseline {
+
+/// Model of AXIChecker (Chen, Ju, Huang — ISOCC'10): a synthesizable
+/// rule-based protocol checker. It flags handshake-stability, WLAST/
+/// RLAST placement, 4 KiB-crossing, WRAP-length and unrequested-response
+/// violations and raises an error line, but has NO timing monitoring
+/// (a stalled transaction is never flagged) and no recovery path
+/// (paper Table II).
+class AxiCheckerLite : public sim::Module {
+ public:
+  AxiCheckerLite(std::string name, axi::Link& link)
+      : sim::Module(std::move(name)), sb_(name + ".rules", link) {}
+
+  sim::Wire<bool> error;
+
+  void tick() override {
+    sb_.tick();
+    // Level error output once any rule fired.
+  }
+
+  void eval() override { error.write(sb_.violation_count() > 0); }
+
+  void reset() override {
+    sb_.reset();
+    error.force(false);
+  }
+
+  std::size_t violations() const { return sb_.violation_count(); }
+  const std::vector<axi::Violation>& violation_log() const {
+    return sb_.violations();
+  }
+
+ private:
+  axi::Scoreboard sb_;
+};
+
+}  // namespace baseline

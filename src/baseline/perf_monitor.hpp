@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "axi/link.hpp"
+#include "sim/module.hpp"
+#include "sim/stats.hpp"
+
+namespace baseline {
+
+/// Model of an AMD/Synopsys-style AXI Performance Monitor: counts
+/// transactions, bytes and address->response latency for a
+/// manager/subordinate pair. Pure statistics — no fault detection, no
+/// protocol checks, no recovery (paper Table II).
+class AxiPerfMonitor : public sim::Module {
+ public:
+  AxiPerfMonitor(std::string name, axi::Link& link)
+      : sim::Module(std::move(name)), link_(link) {}
+
+  void tick() override {
+    const axi::AxiReq q = link_.req.read();
+    const axi::AxiRsp s = link_.rsp.read();
+
+    if (axi::aw_fire(q, s)) {
+      w_start_[q.aw.id] = cycle_;
+      ++write_txns_;
+    }
+    if (axi::w_fire(q, s)) bytes_written_ += axi::beat_bytes(3);
+    if (axi::b_fire(q, s)) {
+      auto it = w_start_.find(s.b.id);
+      if (it != w_start_.end()) {
+        write_latency_.add(static_cast<double>(cycle_ - it->second));
+        w_start_.erase(it);
+      }
+    }
+    if (axi::ar_fire(q, s)) {
+      r_start_[q.ar.id] = cycle_;
+      ++read_txns_;
+    }
+    if (axi::r_fire(q, s)) {
+      bytes_read_ += axi::beat_bytes(3);
+      if (s.r.last) {
+        auto it = r_start_.find(s.r.id);
+        if (it != r_start_.end()) {
+          read_latency_.add(static_cast<double>(cycle_ - it->second));
+          r_start_.erase(it);
+        }
+      }
+    }
+    ++cycle_;
+  }
+
+  void reset() override {
+    w_start_.clear();
+    r_start_.clear();
+    write_txns_ = read_txns_ = 0;
+    bytes_written_ = bytes_read_ = 0;
+    write_latency_ = {};
+    read_latency_ = {};
+    cycle_ = 0;
+  }
+
+  std::uint64_t write_txns() const { return write_txns_; }
+  std::uint64_t read_txns() const { return read_txns_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t bytes_read() const { return bytes_read_; }
+  const sim::RunningStats& write_latency() const { return write_latency_; }
+  const sim::RunningStats& read_latency() const { return read_latency_; }
+  double write_throughput() const {
+    return cycle_ ? static_cast<double>(bytes_written_) /
+                        static_cast<double>(cycle_)
+                  : 0.0;
+  }
+
+ private:
+  axi::Link& link_;
+  std::map<axi::Id, std::uint64_t> w_start_;
+  std::map<axi::Id, std::uint64_t> r_start_;
+  std::uint64_t write_txns_ = 0, read_txns_ = 0;
+  std::uint64_t bytes_written_ = 0, bytes_read_ = 0;
+  sim::RunningStats write_latency_, read_latency_;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace baseline

@@ -1,0 +1,143 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "axi/link.hpp"
+#include "sim/module.hpp"
+#include "sim/wire.hpp"
+
+namespace baseline {
+
+/// Model of the Xilinx AXI Timeout Block (PG080): tracks the time
+/// between the address phase and the corresponding response phase with
+/// ONE timer per direction. If a response exceeds the user-defined
+/// window it flags an error and raises an interrupt.
+///
+/// Deliberately reproduced limitations (paper Table II):
+///  * no phase-level latency metrics — only address->response;
+///  * no protocol checks (ID mismatches, WLAST placement, ...);
+///  * no real multiple-outstanding support: the single timer restarts
+///    on the next address phase, so an older stalled transaction can be
+///    masked by newer traffic.
+class XilinxTimeoutBlock : public sim::Module {
+ public:
+  XilinxTimeoutBlock(std::string name, axi::Link& link,
+                     std::uint32_t window = 256)
+      : sim::Module(std::move(name)), link_(link), window_(window) {}
+
+  sim::Wire<bool> irq;
+
+  void eval() override { irq.write(errored_); }
+
+  void tick() override {
+    const axi::AxiReq q = link_.req.read();
+    const axi::AxiRsp s = link_.rsp.read();
+
+    // Write direction: aw accept (re)starts the timer; any B stops it.
+    if (axi::aw_fire(q, s)) {
+      w_timer_ = 0;
+      w_active_ = true;  // note: restarts even if an older txn is stuck
+    }
+    if (axi::b_fire(q, s)) w_active_ = false;
+    if (w_active_ && ++w_timer_ >= window_) {
+      errored_ = true;
+      ++timeouts_;
+      w_active_ = false;
+    }
+
+    if (axi::ar_fire(q, s)) {
+      r_timer_ = 0;
+      r_active_ = true;
+    }
+    if (axi::r_fire(q, s) && s.r.last) r_active_ = false;
+    if (r_active_ && ++r_timer_ >= window_) {
+      errored_ = true;
+      ++timeouts_;
+      r_active_ = false;
+    }
+    ++cycle_;
+  }
+
+  void reset() override {
+    w_timer_ = r_timer_ = 0;
+    w_active_ = r_active_ = false;
+    errored_ = false;
+    timeouts_ = 0;
+    cycle_ = 0;
+    irq.force(false);
+  }
+
+  bool errored() const { return errored_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t cycle() const { return cycle_; }
+
+ private:
+  axi::Link& link_;
+  std::uint32_t window_;
+  std::uint32_t w_timer_ = 0, r_timer_ = 0;
+  bool w_active_ = false, r_active_ = false;
+  bool errored_ = false;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t cycle_ = 0;
+};
+
+/// Model of the ARM SP805 watchdog: a down-counter the software must
+/// kick periodically. First expiry raises the interrupt, a second one
+/// asserts the reset output. It knows nothing about the bus — it only
+/// detects that software stopped making progress.
+class Sp805Watchdog : public sim::Module {
+ public:
+  Sp805Watchdog(std::string name, std::uint32_t load = 1000)
+      : sim::Module(std::move(name)), load_(load), counter_(load) {}
+
+  sim::Wire<bool> irq;
+  sim::Wire<bool> reset_out;
+
+  /// Software reload (the periodic "kick").
+  void kick() { kick_pending_ = true; }
+
+  void eval() override {
+    irq.write(irq_);
+    reset_out.write(reset_);
+  }
+
+  void tick() override {
+    if (kick_pending_) {
+      counter_ = load_;
+      irq_ = false;
+      kick_pending_ = false;
+      return;
+    }
+    if (counter_ == 0) {
+      if (!irq_) {
+        irq_ = true;
+        counter_ = load_;
+      } else {
+        reset_ = true;
+      }
+      return;
+    }
+    --counter_;
+  }
+
+  void reset() override {
+    counter_ = load_;
+    irq_ = reset_ = false;
+    kick_pending_ = false;
+    irq.force(false);
+    reset_out.force(false);
+  }
+
+  bool irq_pending() const { return irq_; }
+  bool reset_asserted() const { return reset_; }
+
+ private:
+  std::uint32_t load_;
+  std::uint32_t counter_;
+  bool irq_ = false;
+  bool reset_ = false;
+  bool kick_pending_ = false;
+};
+
+}  // namespace baseline

@@ -1,0 +1,48 @@
+#include "sim/kernel.hpp"
+
+#include "sim/wire.hpp"
+
+namespace sim {
+
+void Simulator::reset() {
+  for (Module* m : modules_) m->reset();
+  cycle_ = 0;
+  settle();
+}
+
+void Simulator::settle() {
+  for (int iter = 0; iter < kMaxDeltaIterations; ++iter) {
+    const std::uint64_t epoch_before = change_epoch();
+    for (Module* m : modules_) m->eval();
+    if (change_epoch() == epoch_before) return;
+  }
+  throw ConvergenceError(
+      "combinational logic failed to settle; likely a combinational loop");
+}
+
+void Simulator::step() {
+  settle();
+  for (auto& cb : cycle_callbacks_) cb(cycle_);
+  for (Module* m : modules_) m->tick();
+  ++cycle_;
+  // Post-edge settle so callers observing wires after step() (tests,
+  // probes) see outputs consistent with the new register state.
+  settle();
+}
+
+void Simulator::run(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) step();
+}
+
+bool Simulator::run_until(const std::function<bool()>& pred,
+                          std::uint64_t max_cycles) {
+  for (std::uint64_t i = 0; i < max_cycles; ++i) {
+    settle();
+    if (pred()) return true;
+    step();
+  }
+  settle();
+  return pred();
+}
+
+}  // namespace sim

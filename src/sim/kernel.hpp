@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/module.hpp"
+
+namespace sim {
+
+/// Thrown when combinational evaluation fails to converge, which
+/// indicates a (model) combinational loop.
+class ConvergenceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Two-phase cycle-based simulation kernel.
+///
+/// Per cycle: eval() every module repeatedly until no Wire changes
+/// (bounded by kMaxDeltaIterations), then tick() every module once.
+class Simulator {
+ public:
+  static constexpr int kMaxDeltaIterations = 64;
+
+  /// Registers a module (non-owning; the caller keeps ownership).
+  void add(Module& m) { modules_.push_back(&m); }
+
+  /// Registers a callback run after every settled cycle (tracing, probes).
+  void on_cycle(std::function<void(std::uint64_t)> cb) {
+    cycle_callbacks_.push_back(std::move(cb));
+  }
+
+  /// Synchronously resets all modules and the cycle counter.
+  void reset();
+
+  /// Settles combinational logic without advancing the clock.
+  void settle();
+
+  /// Advances one clock cycle: settle, callbacks, then tick.
+  void step();
+
+  /// Runs n cycles.
+  void run(std::uint64_t n);
+
+  /// Runs until pred() is true or the cycle budget is exhausted.
+  /// Returns true if pred fired.
+  bool run_until(const std::function<bool()>& pred, std::uint64_t max_cycles);
+
+  std::uint64_t cycle() const { return cycle_; }
+
+ private:
+  std::vector<Module*> modules_;
+  std::vector<std::function<void(std::uint64_t)>> cycle_callbacks_;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace sim

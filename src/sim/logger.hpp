@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace sim {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide log level; benches/examples raise it to keep output clean.
+inline LogLevel& global_log_level() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+/// Minimal leveled logger. Usage:
+///   sim::log(sim::LogLevel::kInfo, "tmu", cycle) << "timeout on id " << id;
+class LogLine {
+ public:
+  LogLine(LogLevel level, const std::string& tag, std::uint64_t cycle)
+      : enabled_(level >= global_log_level() &&
+                 global_log_level() != LogLevel::kOff) {
+    if (enabled_) {
+      stream_ << "[" << level_name(level) << "] @" << cycle << " " << tag
+              << ": ";
+    }
+  }
+
+  ~LogLine() {
+    if (enabled_) std::cerr << stream_.str() << "\n";
+  }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  static const char* level_name(LogLevel l) {
+    switch (l) {
+      case LogLevel::kTrace: return "TRC";
+      case LogLevel::kDebug: return "DBG";
+      case LogLevel::kInfo: return "INF";
+      case LogLevel::kWarn: return "WRN";
+      case LogLevel::kError: return "ERR";
+      default: return "OFF";
+    }
+  }
+
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+inline LogLine log(LogLevel level, const std::string& tag,
+                   std::uint64_t cycle) {
+  return LogLine(level, tag, cycle);
+}
+
+}  // namespace sim

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace sim {
+
+/// Base class for all cycle-level hardware models.
+///
+/// The kernel drives each cycle in two phases:
+///   1. eval()  — combinational: compute outputs from register state and
+///                input wires. Must be idempotent for fixed inputs; it is
+///                called repeatedly until all wires settle.
+///   2. tick()  — sequential: sample the settled wires and update
+///                internal registers (the clock edge).
+/// reset() returns all registers to their power-on state.
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  virtual void eval() {}
+  virtual void tick() {}
+  virtual void reset() {}
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace sim

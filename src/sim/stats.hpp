@@ -1,0 +1,76 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <vector>
+
+namespace sim {
+
+/// Streaming summary statistics (Welford) plus min/max.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact integer histogram (value -> count); suitable for latency
+/// distributions where the support is small.
+class Histogram {
+ public:
+  void add(std::uint64_t value) { ++bins_[value]; }
+
+  std::uint64_t count(std::uint64_t value) const {
+    auto it = bins_.find(value);
+    return it == bins_.end() ? 0 : it->second;
+  }
+
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (auto& [v, c] : bins_) t += c;
+    return t;
+  }
+
+  /// p in [0,1]; returns the smallest value whose CDF >= p.
+  std::uint64_t percentile(double p) const {
+    const std::uint64_t t = total();
+    if (t == 0) return 0;
+    const auto target =
+        static_cast<std::uint64_t>(std::ceil(p * static_cast<double>(t)));
+    std::uint64_t seen = 0;
+    for (auto& [v, c] : bins_) {
+      seen += c;
+      if (seen >= target) return v;
+    }
+    return bins_.rbegin()->first;
+  }
+
+  const std::map<std::uint64_t, std::uint64_t>& bins() const { return bins_; }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> bins_;
+};
+
+}  // namespace sim

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace sim {
+
+/// Minimal VCD (Value Change Dump) writer: register named probes (each a
+/// callback returning the current value and a bit width), then call
+/// sample(cycle) once per settled cycle — typically from
+/// Simulator::on_cycle. Only changed values are emitted, per the VCD
+/// format. Output is viewable in GTKWave/Surfer.
+class VcdWriter {
+ public:
+  explicit VcdWriter(const std::string& path) : out_(path) {}
+
+  /// Adds a probe before the first sample. Width 1 emits scalar 0/1;
+  /// wider probes emit binary vectors.
+  void probe(const std::string& name, unsigned width,
+             std::function<std::uint64_t()> getter) {
+    probes_.push_back(Probe{name, width, std::move(getter), ~0ull, code()});
+  }
+
+  bool ok() const { return out_.good(); }
+
+  /// Emits the header on the first call, then one timestep per call.
+  void sample(std::uint64_t cycle) {
+    if (!header_done_) write_header();
+    out_ << '#' << cycle << '\n';
+    for (Probe& p : probes_) {
+      const std::uint64_t v = p.getter();
+      if (v == p.last) continue;
+      p.last = v;
+      if (p.width == 1) {
+        out_ << (v & 1) << p.id << '\n';
+      } else {
+        out_ << 'b';
+        bool started = false;
+        for (int bit = static_cast<int>(p.width) - 1; bit >= 0; --bit) {
+          const bool b = (v >> bit) & 1;
+          if (b) started = true;
+          if (started || bit == 0) out_ << (b ? '1' : '0');
+        }
+        out_ << ' ' << p.id << '\n';
+      }
+    }
+  }
+
+  void flush() { out_.flush(); }
+
+ private:
+  struct Probe {
+    std::string name;
+    unsigned width;
+    std::function<std::uint64_t()> getter;
+    std::uint64_t last;
+    std::string id;
+  };
+
+  std::string code() {
+    // Printable identifier codes: !, ", #, ... per VCD convention.
+    std::string s;
+    unsigned n = next_code_++;
+    do {
+      s.push_back(static_cast<char>('!' + n % 94));
+      n /= 94;
+    } while (n > 0);
+    return s;
+  }
+
+  void write_header() {
+    out_ << "$timescale 1ns $end\n$scope module tmu $end\n";
+    for (const Probe& p : probes_) {
+      out_ << "$var wire " << p.width << ' ' << p.id << ' ' << p.name
+           << " $end\n";
+    }
+    out_ << "$upscope $end\n$enddefinitions $end\n";
+    header_done_ = true;
+  }
+
+  std::ofstream out_;
+  std::vector<Probe> probes_;
+  unsigned next_code_ = 0;
+  bool header_done_ = false;
+};
+
+}  // namespace sim

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace sim {
+
+namespace detail {
+/// Global change epoch. Every Wire::write that actually changes a value
+/// bumps this counter; the kernel uses it to detect combinational
+/// convergence (an eval pass that changes nothing leaves it untouched).
+inline std::uint64_t g_change_epoch = 0;
+}  // namespace detail
+
+/// Returns the current global change epoch (see detail::g_change_epoch).
+inline std::uint64_t change_epoch() { return detail::g_change_epoch; }
+
+/// A combinational signal. Modules read inputs and write outputs through
+/// wires during eval(); the kernel repeats eval passes until no wire
+/// changes. T must be equality-comparable and cheap to copy.
+template <typename T>
+class Wire {
+ public:
+  Wire() = default;
+  explicit Wire(T init) : value_(std::move(init)) {}
+
+  const T& read() const { return value_; }
+
+  /// Writes v; bumps the global change epoch iff the value differs.
+  void write(const T& v) {
+    if (!(v == value_)) {
+      value_ = v;
+      ++detail::g_change_epoch;
+    }
+  }
+
+  /// Forces the value without equality comparison (used by reset paths).
+  void force(T v) {
+    value_ = std::move(v);
+    ++detail::g_change_epoch;
+  }
+
+ private:
+  T value_{};
+};
+
+}  // namespace sim

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/module.hpp"
+#include "soc/irq.hpp"
+#include "tmu/regs.hpp"
+#include "tmu/tmu.hpp"
+
+namespace soc {
+
+/// Models the software side of the paper's recovery flow: the CPU takes
+/// the TMU interrupt, runs a handler (fixed latency), reads the fault
+/// log through the TMU register file, clears the interrupt and counts
+/// the event. One stub can service several TMUs via the PLIC-lite.
+class CpuRecoveryStub : public sim::Module {
+ public:
+  CpuRecoveryStub(std::string name, IrqController& plic,
+                  std::vector<tmu::Tmu*> tmus,
+                  std::uint32_t handler_latency = 20)
+      : sim::Module(std::move(name)),
+        plic_(plic),
+        tmus_(std::move(tmus)),
+        handler_latency_(handler_latency) {}
+
+  void tick() override {
+    switch (state_) {
+      case State::kIdle: {
+        const int src = plic_.claim();
+        if (src >= 0) {
+          current_ = static_cast<std::size_t>(src);
+          count_ = 0;
+          state_ = State::kHandling;
+        }
+        break;
+      }
+      case State::kHandling:
+        if (++count_ >= handler_latency_) {
+          tmu::Tmu* t = tmus_[current_];
+          // Drain the fault FIFO the way firmware would.
+          while (t->read_reg(tmu::regs::kFaultInfo) != 0) {
+            ++faults_read_;
+          }
+          t->write_reg(tmu::regs::kIrqClear, 1);
+          plic_.complete(current_);
+          ++irqs_handled_;
+          state_ = State::kIdle;
+        }
+        break;
+    }
+  }
+
+  void reset() override {
+    state_ = State::kIdle;
+    count_ = 0;
+    irqs_handled_ = 0;
+    faults_read_ = 0;
+  }
+
+  std::uint64_t irqs_handled() const { return irqs_handled_; }
+  std::uint64_t faults_read() const { return faults_read_; }
+
+ private:
+  enum class State { kIdle, kHandling };
+
+  IrqController& plic_;
+  std::vector<tmu::Tmu*> tmus_;
+  std::uint32_t handler_latency_;
+
+  State state_ = State::kIdle;
+  std::size_t current_ = 0;
+  std::uint32_t count_ = 0;
+  std::uint64_t irqs_handled_ = 0;
+  std::uint64_t faults_read_ = 0;
+};
+
+}  // namespace soc

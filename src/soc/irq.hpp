@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/module.hpp"
+#include "sim/wire.hpp"
+
+namespace soc {
+
+/// PLIC-lite: latches level interrupts from N sources into a pending
+/// mask; the CPU stub claims the highest-priority (lowest-index) pending
+/// source and completes it after running its handler.
+class IrqController : public sim::Module {
+ public:
+  explicit IrqController(std::string name) : sim::Module(std::move(name)) {}
+
+  /// Registers an interrupt source; returns its source id.
+  std::size_t add_source(sim::Wire<bool>& w) {
+    sources_.push_back(&w);
+    pending_.push_back(false);
+    claimed_.push_back(false);
+    return sources_.size() - 1;
+  }
+
+  void tick() override {
+    for (std::size_t i = 0; i < sources_.size(); ++i) {
+      if (sources_[i]->read() && !claimed_[i]) pending_[i] = true;
+    }
+  }
+
+  void reset() override {
+    std::fill(pending_.begin(), pending_.end(), false);
+    std::fill(claimed_.begin(), claimed_.end(), false);
+  }
+
+  bool any_pending() const {
+    for (bool p : pending_) {
+      if (p) return true;
+    }
+    return false;
+  }
+
+  /// Claims the lowest-index pending source; -1 if none.
+  int claim() {
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (pending_[i]) {
+        pending_[i] = false;
+        claimed_[i] = true;
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  void complete(std::size_t id) { claimed_[id] = false; }
+
+ private:
+  std::vector<sim::Wire<bool>*> sources_;
+  std::vector<bool> pending_;
+  std::vector<bool> claimed_;
+};
+
+}  // namespace soc

@@ -1,0 +1,177 @@
+#include "soc/llc.hpp"
+
+#include <algorithm>
+
+#include "axi/addr.hpp"
+
+namespace soc {
+
+bool LastLevelCache::burst_hits(const axi::ArFlit& ar) const {
+  for (unsigned beat = 0; beat < axi::beats(ar.len); ++beat) {
+    const axi::Addr a = axi::beat_addr(ar.addr, ar.size, ar.len, ar.burst,
+                                       beat);
+    if (!line_present(a)) return false;
+  }
+  return true;
+}
+
+axi::Data LastLevelCache::read_line_beat(axi::Addr a) const {
+  const std::uint64_t idx = line_index(a);
+  const std::uint64_t off = (a & ~(axi::Addr{7})) % kLineBytes;
+  axi::Data d = 0;
+  for (unsigned i = 0; i < 8; ++i) {
+    d |= axi::Data{data_[idx * kLineBytes + off + i]} << (8 * i);
+  }
+  return d;
+}
+
+void LastLevelCache::write_line_beat(axi::Addr a, axi::Data d,
+                                     std::uint8_t strb, bool allocate) {
+  const std::uint64_t idx = line_index(a);
+  const bool present = line_present(a);
+  if (!present && !allocate) return;
+  if (!present) {
+    // Allocate: claim the line (partial-line allocation is acceptable
+    // for this behavioural model; the backing memory remains the source
+    // of truth through the write-through policy).
+    tags_[idx] = line_tag(a);
+    std::fill_n(data_.begin() + static_cast<long>(idx * kLineBytes),
+                kLineBytes, 0);
+  }
+  const std::uint64_t off = (a & ~(axi::Addr{7})) % kLineBytes;
+  for (unsigned i = 0; i < 8; ++i) {
+    if (strb & (1u << i)) {
+      data_[idx * kLineBytes + off + i] =
+          static_cast<std::uint8_t>(d >> (8 * i));
+    }
+  }
+}
+
+void LastLevelCache::eval() {
+  const axi::AxiReq uq = up_.req.read();
+  const axi::AxiRsp ds = down_.rsp.read();
+
+  axi::AxiReq dq = uq;  // write path is a pure write-through pass-through
+  axi::AxiRsp us{};
+  us.aw_ready = ds.aw_ready;
+  us.w_ready = ds.w_ready;
+  us.b_valid = ds.b_valid;
+  us.b = ds.b;
+  dq.b_ready = uq.b_ready;
+
+  // ---- AR path: hit -> absorb locally, miss -> forward ----
+  bool ar_is_hit = false;
+  if (uq.ar_valid) {
+    ar_is_hit = burst_hits(uq.ar);
+    // A hit behind an outstanding miss of the same ID must not overtake
+    // it (AXI same-ID ordering), so treat it as a miss.
+    for (const MissRead& m : miss_q_) {
+      if (m.ar.id == uq.ar.id) {
+        ar_is_hit = false;
+        break;
+      }
+    }
+  }
+  if (uq.ar_valid && ar_is_hit) {
+    dq.ar_valid = false;
+    us.ar_ready = hit_q_.size() < 8;
+  } else {
+    us.ar_ready = ds.ar_ready;
+  }
+
+  // ---- R mux: downstream (miss) data first, then local hits ----
+  const bool down_r = ds.r_valid;
+  if (down_r) {
+    us.r_valid = true;
+    us.r = ds.r;
+    dq.r_ready = uq.r_ready;
+  } else {
+    dq.r_ready = false;
+    if (!hit_q_.empty() && hit_q_.front().ready_at <= cycle_) {
+      const HitRead& h = hit_q_.front();
+      const axi::Addr a = axi::beat_addr(h.ar.addr, h.ar.size, h.ar.len,
+                                         h.ar.burst, h.next_beat);
+      us.r_valid = true;
+      us.r = axi::RFlit{h.ar.id, read_line_beat(a), axi::Resp::kOkay,
+                        h.next_beat + 1 == axi::beats(h.ar.len)};
+    }
+  }
+
+  down_.req.write(dq);
+  up_.rsp.write(us);
+}
+
+void LastLevelCache::tick() {
+  const axi::AxiReq uq = up_.req.read();
+  const axi::AxiRsp us = up_.rsp.read();
+  const axi::AxiReq dq = down_.req.read();
+  const axi::AxiRsp ds = down_.rsp.read();
+
+  // Track the open write burst to compute beat addresses for the
+  // write-through cache update.
+  if (axi::aw_fire(uq, us)) {
+    open_writes_.push_back({uq.aw, 0});
+  }
+  if (axi::w_fire(uq, us) && !open_writes_.empty()) {
+    auto& [aw, beats_got] = open_writes_.front();
+    const axi::Addr a =
+        axi::beat_addr(aw.addr, aw.size, aw.len, aw.burst, beats_got);
+    write_line_beat(a, uq.w.data, uq.w.strb, /*allocate=*/false);
+    ++beats_got;
+    if (uq.w.last || beats_got == axi::beats(aw.len)) {
+      open_writes_.erase(open_writes_.begin());
+    }
+  }
+
+  // AR accepted: route to the hit queue or the miss tracker.
+  if (axi::ar_fire(uq, us)) {
+    if (dq.ar_valid && ds.ar_ready) {
+      // Forwarded to memory in the same cycle: a miss.
+      miss_q_.push_back(MissRead{uq.ar, 0});
+      ++misses_;
+    } else {
+      hit_q_.push_back(HitRead{uq.ar, 0, cycle_ + cfg_.hit_latency});
+      ++hits_;
+    }
+  }
+
+  // R beats delivered upstream.
+  if (axi::r_fire(uq, us)) {
+    if (ds.r_valid && dq.r_ready) {
+      // Miss data returning: allocate as it streams.
+      for (auto it = miss_q_.begin(); it != miss_q_.end(); ++it) {
+        if (it->ar.id == us.r.id) {
+          const axi::Addr a = axi::beat_addr(it->ar.addr, it->ar.size,
+                                             it->ar.len, it->ar.burst,
+                                             it->beats_seen);
+          write_line_beat(a, us.r.data, 0xFF, /*allocate=*/true);
+          ++it->beats_seen;
+          if (us.r.last) miss_q_.erase(it);
+          break;
+        }
+      }
+    } else if (!hit_q_.empty()) {
+      HitRead& h = hit_q_.front();
+      ++h.next_beat;
+      if (h.next_beat == axi::beats(h.ar.len)) {
+        hit_q_.erase(hit_q_.begin());
+      }
+    }
+  }
+
+  ++cycle_;
+}
+
+void LastLevelCache::reset() {
+  std::fill(tags_.begin(), tags_.end(), kInvalid);
+  std::fill(data_.begin(), data_.end(), 0);
+  hit_q_.clear();
+  miss_q_.clear();
+  open_writes_.clear();
+  hits_ = misses_ = 0;
+  cycle_ = 0;
+  down_.req.force(axi::AxiReq{});
+  up_.rsp.force(axi::AxiRsp{});
+}
+
+}  // namespace soc

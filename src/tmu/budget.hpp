@@ -1,0 +1,63 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "tmu/config.hpp"
+#include "tmu/ott.hpp"
+
+namespace tmu {
+
+/// Adaptive time-budgeting (§II-F): computes the per-phase (Fc) or
+/// whole-transaction (Tc) budgets for a newly enqueued transaction.
+/// The data-transfer component scales with burst length and the
+/// queue-waiting component with the outstanding traffic already ahead
+/// in the OTT.
+class BudgetPolicy {
+ public:
+  explicit BudgetPolicy(const TmuConfig& cfg) : cfg_(&cfg) {}
+
+  /// Budgets for the six write phases. `ahead_beats` is the number of
+  /// data beats older outstanding transactions still have to transfer.
+  std::array<std::uint32_t, kMaxPhases> write_budgets(
+      std::uint8_t len, std::uint32_t ahead_beats) const {
+    const PhaseBudgets& b = cfg_->budgets;
+    std::array<std::uint32_t, kMaxPhases> out{
+        b.aw_vld_aw_rdy, b.aw_rdy_w_vld, b.w_vld_w_rdy,
+        b.w_first_w_last, b.w_last_b_vld, b.b_vld_b_rdy};
+    if (cfg_->adaptive.enabled) {
+      out[1] += cfg_->adaptive.cycles_per_ahead * ahead_beats;
+      out[3] += cfg_->adaptive.cycles_per_beat * len;
+    }
+    return out;
+  }
+
+  /// Budgets for the four read phases (slots 4..5 unused).
+  std::array<std::uint32_t, kMaxPhases> read_budgets(
+      std::uint8_t len, std::uint32_t ahead_beats) const {
+    const PhaseBudgets& b = cfg_->budgets;
+    std::array<std::uint32_t, kMaxPhases> out{
+        b.ar_vld_ar_rdy, b.ar_rdy_r_vld, b.r_vld_r_rdy, b.r_vld_r_last,
+        0, 0};
+    if (cfg_->adaptive.enabled) {
+      out[1] += cfg_->adaptive.cycles_per_ahead * ahead_beats;
+      out[3] += cfg_->adaptive.cycles_per_beat * len;
+    }
+    return out;
+  }
+
+  /// Tiny-Counter whole-transaction budget.
+  std::uint32_t tc_total(std::uint8_t len, std::uint32_t ahead_beats) const {
+    std::uint32_t total = cfg_->tc_total_budget;
+    if (cfg_->adaptive.enabled) {
+      total += cfg_->adaptive.cycles_per_beat * len +
+               cfg_->adaptive.cycles_per_ahead * ahead_beats;
+    }
+    return total;
+  }
+
+ private:
+  const TmuConfig* cfg_;
+};
+
+}  // namespace tmu

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstdint>
+
+namespace tmu {
+
+/// TMU variant: Tiny-Counter (one counter per outstanding transaction,
+/// transaction-level detection) or Full-Counter (one counter per
+/// transaction *phase*, phase-level detection + performance logging).
+enum class Variant : std::uint8_t { kTinyCounter, kFullCounter };
+
+inline const char* to_string(Variant v) {
+  return v == Variant::kTinyCounter ? "Tc" : "Fc";
+}
+
+/// Write-transaction phases tracked by the Full-Counter (Fig. 4).
+enum class WritePhase : std::uint8_t {
+  kAwVldAwRdy = 0,   ///< address handshake
+  kAwRdyWVld = 1,    ///< data-phase entry (queue waiting)
+  kWVldWRdy = 2,     ///< first data transfer handshake
+  kWFirstWLast = 3,  ///< burst data transfer
+  kWLastBVld = 4,    ///< response monitoring
+  kBVldBRdy = 5,     ///< response readiness
+  kDone = 6,
+};
+inline constexpr unsigned kNumWritePhases = 6;
+
+/// Read-transaction phases tracked by the Full-Counter (Fig. 5).
+enum class ReadPhase : std::uint8_t {
+  kArVldArRdy = 0,  ///< address handshake
+  kArRdyRVld = 1,   ///< data-phase entry (queue waiting)
+  kRVldRRdy = 2,    ///< first data transfer handshake
+  kRVldRLast = 3,   ///< burst data transfer
+  kDone = 4,
+};
+inline constexpr unsigned kNumReadPhases = 4;
+
+inline const char* to_string(WritePhase p) {
+  switch (p) {
+    case WritePhase::kAwVldAwRdy: return "AWVLD_AWRDY";
+    case WritePhase::kAwRdyWVld: return "AWRDY_WVLD";
+    case WritePhase::kWVldWRdy: return "WVLD_WRDY";
+    case WritePhase::kWFirstWLast: return "WFIRST_WLAST";
+    case WritePhase::kWLastBVld: return "WLAST_BVLD";
+    case WritePhase::kBVldBRdy: return "BVLD_BRDY";
+    case WritePhase::kDone: return "DONE";
+  }
+  return "?";
+}
+
+inline const char* to_string(ReadPhase p) {
+  switch (p) {
+    case ReadPhase::kArVldArRdy: return "ARVLD_ARRDY";
+    case ReadPhase::kArRdyRVld: return "ARRDY_RVLD";
+    case ReadPhase::kRVldRRdy: return "RVLD_RRDY";
+    case ReadPhase::kRVldRLast: return "RVLD_RLAST";
+    case ReadPhase::kDone: return "DONE";
+  }
+  return "?";
+}
+
+/// Per-phase time budgets in clock cycles (Full-Counter). The data phase
+/// can additionally scale with burst length, and the queue-waiting phase
+/// with accumulated outstanding traffic (adaptive time budgeting, §II-F).
+struct PhaseBudgets {
+  std::uint32_t aw_vld_aw_rdy = 16;
+  std::uint32_t aw_rdy_w_vld = 32;
+  std::uint32_t w_vld_w_rdy = 16;
+  std::uint32_t w_first_w_last = 32;
+  std::uint32_t w_last_b_vld = 32;
+  std::uint32_t b_vld_b_rdy = 16;
+
+  std::uint32_t ar_vld_ar_rdy = 16;
+  std::uint32_t ar_rdy_r_vld = 32;
+  std::uint32_t r_vld_r_rdy = 16;
+  std::uint32_t r_vld_r_last = 32;
+};
+
+/// Adaptive time-budgeting knobs (§II-F): budgets grow with burst length
+/// (data-transfer time) and with the accumulated outstanding traffic
+/// ahead in the OTT (queue-waiting time), measured in data beats still
+/// to be transferred by older transactions.
+struct AdaptiveBudget {
+  bool enabled = true;
+  std::uint32_t cycles_per_beat = 2;   ///< added to data phase per beat
+  std::uint32_t cycles_per_ahead = 4;  ///< added to queue wait per older
+                                       ///< outstanding beat
+};
+
+/// Complete TMU configuration (the paper's software-visible registers
+/// plus the elaboration-time parameters of Table I).
+struct TmuConfig {
+  Variant variant = Variant::kFullCounter;
+
+  // Table I parameters.
+  std::uint32_t max_uniq_ids = 4;      ///< MaxUniqIDs
+  std::uint32_t txn_per_uniq_id = 4;   ///< TxnPerUniqID
+
+  /// MaxOutstdTxns = MaxUniqIDs * TxnPerUniqID.
+  std::uint32_t max_outstanding() const {
+    return max_uniq_ids * txn_per_uniq_id;
+  }
+
+  // Timing.
+  PhaseBudgets budgets{};
+  std::uint32_t tc_total_budget = 256;  ///< Tiny-Counter whole-txn budget
+  AdaptiveBudget adaptive{};
+
+  // Prescaler / sticky bit (§II-G). Step 1 = no prescaling.
+  std::uint32_t prescaler_step = 1;
+  bool sticky_bit = false;
+
+  // Control.
+  bool enabled = true;
+  bool irq_enabled = true;
+  bool reset_on_fault = true;  ///< request external reset on fault
+
+  /// Longest supported transaction (counter sizing; §III-A uses 256).
+  std::uint32_t max_txn_cycles = 256;
+
+  // Hardware log sizing: both logs are finite FIFOs; overflow drops the
+  // newest entry and counts it (readable through the register file).
+  std::uint32_t fault_log_depth = 64;
+  std::uint32_t perf_log_depth = 256;
+};
+
+}  // namespace tmu

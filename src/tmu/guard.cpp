@@ -1,0 +1,470 @@
+#include "tmu/guard.hpp"
+
+#include "axi/link.hpp"
+
+namespace tmu {
+
+namespace {
+/// Marks an entry as already-faulted so it is flagged exactly once.
+/// Reuses the counter running flag: a stopped counter means "no longer
+/// monitored" (completed or faulted).
+bool monitored(const LdEntry& e) { return e.valid && e.counter.running(); }
+
+/// Accumulated outstanding traffic (§II-F): data beats that older
+/// transactions in the OTT still have to transfer.
+std::uint32_t beats_ahead(const Ott& ott) {
+  std::uint32_t total = 0;
+  for (int idx : ott.order()) {
+    const LdEntry& e = ott.at(idx);
+    if (!e.valid) continue;
+    const unsigned remaining = axi::beats(e.len) > e.beats
+                                   ? axi::beats(e.len) - e.beats
+                                   : 0;
+    total += remaining;
+  }
+  return total;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------
+// WriteGuard
+// ---------------------------------------------------------------------
+
+void WriteGuard::flag(FaultKind kind, const LdEntry* e, WritePhase phase,
+                      std::uint64_t cycle, axi::Id id_hint) {
+  FaultRecord f;
+  f.cycle = cycle;
+  f.is_write = true;
+  f.kind = kind;
+  f.phase_valid = cfg_->variant == Variant::kFullCounter;
+  f.phase = static_cast<std::uint8_t>(phase);
+  if (e != nullptr) {
+    f.id = e->orig_id;
+    f.tid = e->tid;
+    f.addr = e->addr;
+    const unsigned pi = cfg_->variant == Variant::kFullCounter
+                            ? static_cast<unsigned>(phase)
+                            : 0u;
+    f.elapsed = e->phase_cycles[pi];
+    f.budget = e->phase_budget[pi];
+  } else {
+    f.id = id_hint;
+  }
+  faults_.push_back(f);
+  if (kind == FaultKind::kTimeout) {
+    ++stats_.timeouts;
+  } else {
+    ++stats_.protocol_faults;
+  }
+}
+
+void WriteGuard::enqueue_pending(const axi::AwFlit& aw, std::uint64_t cycle) {
+  const auto tid = remap_.admit(aw.id);
+  if (!tid) return;  // gated by the TMU; should not happen when admitted
+  const std::uint32_t ahead = beats_ahead(ott_);
+  const int idx = ott_.enqueue(*tid, aw.id, aw.addr, aw.len, cycle);
+  if (idx < 0) {
+    remap_.release(*tid);
+    return;
+  }
+  LdEntry& e = ott_.at(idx);
+  e.phase = static_cast<std::uint8_t>(WritePhase::kAwVldAwRdy);
+  if (cfg_->variant == Variant::kFullCounter) {
+    e.phase_budget = budget_.write_budgets(aw.len, ahead);
+    e.counter.arm(e.phase_budget[0], cfg_->prescaler_step, cfg_->sticky_bit);
+  } else {
+    e.phase_budget[0] = budget_.tc_total(aw.len, ahead);
+    e.counter.arm(e.phase_budget[0], cfg_->prescaler_step, cfg_->sticky_bit);
+  }
+  pending_aw_ = idx;
+  pending_flit_ = aw;
+  ++stats_.enqueued;
+}
+
+void WriteGuard::advance_phase(LdEntry& e, WritePhase next) {
+  e.phase = static_cast<std::uint8_t>(next);
+  if (cfg_->variant == Variant::kFullCounter) {
+    if (next == WritePhase::kDone) {
+      e.counter.stop();
+    } else {
+      const unsigned pi = static_cast<unsigned>(next);
+      e.counter.arm(e.phase_budget[pi], cfg_->prescaler_step,
+                    cfg_->sticky_bit);
+    }
+  } else if (next == WritePhase::kDone) {
+    e.counter.stop();
+  }
+  // Tc: the single whole-transaction counter keeps running.
+}
+
+void WriteGuard::complete(int idx, std::uint64_t cycle) {
+  LdEntry& e = ott_.at(idx);
+  std::uint32_t total = 0;
+  for (unsigned p = 0; p < kNumWritePhases; ++p) total += e.phase_cycles[p];
+  stats_.total_latency.add(static_cast<double>(total));
+  if (cfg_->variant == Variant::kFullCounter) {
+    for (unsigned p = 0; p < kNumWritePhases; ++p) {
+      stats_.phase[p].add(static_cast<double>(e.phase_cycles[p]));
+    }
+    TxnPerfRecord rec;
+    rec.is_write = true;
+    rec.id = e.orig_id;
+    rec.addr = e.addr;
+    rec.len = e.len;
+    rec.phase_cycles = e.phase_cycles;
+    rec.total_cycles = total;
+    if (perf_log_.size() < cfg_->perf_log_depth) {
+      perf_log_.push_back(rec);
+    } else {
+      ++perf_dropped_;
+    }
+  }
+  ++stats_.completed;
+  remap_.release(e.tid);
+  ott_.dequeue(e.tid);
+  (void)cycle;
+}
+
+int WriteGuard::active_w_entry() const {
+  for (int idx : ott_.order()) {
+    const LdEntry& e = ott_.at(idx);
+    if (!e.valid || !e.accepted) continue;
+    const auto ph = static_cast<WritePhase>(e.phase);
+    if (ph == WritePhase::kAwRdyWVld || ph == WritePhase::kWVldWRdy ||
+        ph == WritePhase::kWFirstWLast) {
+      return idx;
+    }
+  }
+  return -1;
+}
+
+void WriteGuard::pulse_counters(std::uint64_t cycle) {
+  // Measured per-phase cycle counts advance every clock; the watchdog
+  // counters advance on prescaler pulses only.
+  const bool pulse = prescaler_.tick();
+  for (int idx : ott_.active()) {
+    LdEntry& e = ott_.at(idx);
+    if (!e.valid) continue;
+    const unsigned pi = cfg_->variant == Variant::kFullCounter
+                            ? std::min<unsigned>(e.phase, kNumWritePhases - 1)
+                            : 0u;
+    if (e.phase != static_cast<std::uint8_t>(WritePhase::kDone)) {
+      ++e.phase_cycles[pi];
+    }
+    if (pulse && monitored(e)) {
+      if (e.counter.pulse()) {
+        flag(FaultKind::kTimeout, &e,
+             cfg_->variant == Variant::kFullCounter
+                 ? static_cast<WritePhase>(e.phase)
+                 : WritePhase::kAwVldAwRdy,
+             cycle);
+        e.counter.stop();
+      }
+    }
+  }
+}
+
+void WriteGuard::observe(const axi::AxiReq& q, const axi::AxiRsp& s,
+                         bool admitted, std::uint64_t cycle) {
+  // ---- AW channel ----
+  if (q.aw_valid) {
+    if (pending_aw_ < 0 && admitted) {
+      enqueue_pending(q.aw, cycle);
+    } else if (pending_aw_ >= 0 && !(q.aw == pending_flit_)) {
+      // Payload must stay stable while valid is held.
+      flag(FaultKind::kHandshake, &ott_.at(pending_aw_),
+           WritePhase::kAwVldAwRdy, cycle);
+      pending_flit_ = q.aw;
+    }
+  } else if (prev_aw_valid_ && pending_aw_ >= 0) {
+    // aw_valid dropped before aw_ready: handshake violation.
+    flag(FaultKind::kHandshake, &ott_.at(pending_aw_),
+         WritePhase::kAwVldAwRdy, cycle);
+    // Abandon the entry: the manager withdrew the request.
+    LdEntry& e = ott_.at(pending_aw_);
+    remap_.release(e.tid);
+    ott_.dequeue(e.tid);
+    pending_aw_ = -1;
+  }
+
+  if (axi::aw_fire(q, s) && pending_aw_ >= 0) {
+    LdEntry& e = ott_.at(pending_aw_);
+    e.accepted = true;
+    advance_phase(e, WritePhase::kAwRdyWVld);
+    pending_aw_ = -1;
+  }
+
+  // ---- W channel ----
+  const int widx = active_w_entry();
+  if (q.w_valid) {
+    if (widx < 0) {
+      // W beat with no open write transaction (EI-table order violation).
+      if (!w_orphan_flagged_) {
+        flag(FaultKind::kHandshake, nullptr, WritePhase::kWVldWRdy, cycle);
+        w_orphan_flagged_ = true;
+      }
+    } else {
+      LdEntry& e = ott_.at(widx);
+      if (static_cast<WritePhase>(e.phase) == WritePhase::kAwRdyWVld) {
+        advance_phase(e, WritePhase::kWVldWRdy);
+      }
+    }
+  }
+  if (axi::w_fire(q, s) && widx >= 0) {
+    LdEntry& e = ott_.at(widx);
+    ++e.beats;
+    ++stats_.beats;
+    w_orphan_flagged_ = false;
+    const bool should_be_last = e.beats == axi::beats(e.len);
+    if (q.w.last != should_be_last) {
+      flag(FaultKind::kHandshake, &e, WritePhase::kWFirstWLast, cycle);
+    }
+    if (q.w.last || should_be_last) {
+      advance_phase(e, WritePhase::kWLastBVld);
+    } else if (static_cast<WritePhase>(e.phase) == WritePhase::kWVldWRdy) {
+      advance_phase(e, WritePhase::kWFirstWLast);
+    }
+  }
+
+  // ---- B channel ----
+  if (s.b_valid) {
+    const auto tid = remap_.lookup(s.b.id);
+    const int head = tid ? ott_.head_of(*tid) : -1;
+    if (!tid || head < 0) {
+      if (!b_orphan_flagged_) {
+        flag(FaultKind::kUnrequested, nullptr, WritePhase::kWLastBVld, cycle,
+             s.b.id);
+        b_orphan_flagged_ = true;
+      }
+    } else {
+      LdEntry& e = ott_.at(head);
+      const auto ph = static_cast<WritePhase>(e.phase);
+      if (ph == WritePhase::kWLastBVld) {
+        advance_phase(e, WritePhase::kBVldBRdy);
+      } else if (ph != WritePhase::kBVldBRdy && monitored(e)) {
+        // Response for a transaction that has not finished its data.
+        flag(FaultKind::kIdMismatch, &e, ph, cycle, s.b.id);
+        e.counter.stop();
+      }
+      if (axi::b_fire(q, s) && (ph == WritePhase::kWLastBVld ||
+                                ph == WritePhase::kBVldBRdy)) {
+        complete(head, cycle);
+      }
+    }
+  } else {
+    b_orphan_flagged_ = false;
+  }
+
+  prev_aw_valid_ = q.aw_valid;
+  pulse_counters(cycle);
+}
+
+void WriteGuard::clear() {
+  remap_.clear();
+  ott_.clear();
+  prescaler_.reset();
+  pending_aw_ = -1;
+  prev_aw_valid_ = false;
+  w_orphan_flagged_ = false;
+  b_orphan_flagged_ = false;
+  faults_.clear();
+}
+
+// ---------------------------------------------------------------------
+// ReadGuard
+// ---------------------------------------------------------------------
+
+void ReadGuard::flag(FaultKind kind, const LdEntry* e, ReadPhase phase,
+                     std::uint64_t cycle, axi::Id id_hint) {
+  FaultRecord f;
+  f.cycle = cycle;
+  f.is_write = false;
+  f.kind = kind;
+  f.phase_valid = cfg_->variant == Variant::kFullCounter;
+  f.phase = static_cast<std::uint8_t>(phase);
+  if (e != nullptr) {
+    f.id = e->orig_id;
+    f.tid = e->tid;
+    f.addr = e->addr;
+    const unsigned pi = cfg_->variant == Variant::kFullCounter
+                            ? static_cast<unsigned>(phase)
+                            : 0u;
+    f.elapsed = e->phase_cycles[pi];
+    f.budget = e->phase_budget[pi];
+  } else {
+    f.id = id_hint;
+  }
+  faults_.push_back(f);
+  if (kind == FaultKind::kTimeout) {
+    ++stats_.timeouts;
+  } else {
+    ++stats_.protocol_faults;
+  }
+}
+
+void ReadGuard::enqueue_pending(const axi::ArFlit& ar, std::uint64_t cycle) {
+  const auto tid = remap_.admit(ar.id);
+  if (!tid) return;
+  const std::uint32_t ahead = beats_ahead(ott_);
+  const int idx = ott_.enqueue(*tid, ar.id, ar.addr, ar.len, cycle);
+  if (idx < 0) {
+    remap_.release(*tid);
+    return;
+  }
+  LdEntry& e = ott_.at(idx);
+  e.phase = static_cast<std::uint8_t>(ReadPhase::kArVldArRdy);
+  if (cfg_->variant == Variant::kFullCounter) {
+    e.phase_budget = budget_.read_budgets(ar.len, ahead);
+    e.counter.arm(e.phase_budget[0], cfg_->prescaler_step, cfg_->sticky_bit);
+  } else {
+    e.phase_budget[0] = budget_.tc_total(ar.len, ahead);
+    e.counter.arm(e.phase_budget[0], cfg_->prescaler_step, cfg_->sticky_bit);
+  }
+  pending_ar_ = idx;
+  pending_flit_ = ar;
+  ++stats_.enqueued;
+}
+
+void ReadGuard::advance_phase(LdEntry& e, ReadPhase next) {
+  e.phase = static_cast<std::uint8_t>(next);
+  if (cfg_->variant == Variant::kFullCounter) {
+    if (next == ReadPhase::kDone) {
+      e.counter.stop();
+    } else {
+      const unsigned pi = static_cast<unsigned>(next);
+      e.counter.arm(e.phase_budget[pi], cfg_->prescaler_step,
+                    cfg_->sticky_bit);
+    }
+  } else if (next == ReadPhase::kDone) {
+    e.counter.stop();
+  }
+}
+
+void ReadGuard::complete(int idx, std::uint64_t cycle) {
+  LdEntry& e = ott_.at(idx);
+  std::uint32_t total = 0;
+  for (unsigned p = 0; p < kNumReadPhases; ++p) total += e.phase_cycles[p];
+  stats_.total_latency.add(static_cast<double>(total));
+  if (cfg_->variant == Variant::kFullCounter) {
+    for (unsigned p = 0; p < kNumReadPhases; ++p) {
+      stats_.phase[p].add(static_cast<double>(e.phase_cycles[p]));
+    }
+    TxnPerfRecord rec;
+    rec.is_write = false;
+    rec.id = e.orig_id;
+    rec.addr = e.addr;
+    rec.len = e.len;
+    rec.phase_cycles = e.phase_cycles;
+    rec.total_cycles = total;
+    if (perf_log_.size() < cfg_->perf_log_depth) {
+      perf_log_.push_back(rec);
+    } else {
+      ++perf_dropped_;
+    }
+  }
+  ++stats_.completed;
+  remap_.release(e.tid);
+  ott_.dequeue(e.tid);
+  (void)cycle;
+}
+
+void ReadGuard::pulse_counters(std::uint64_t cycle) {
+  const bool pulse = prescaler_.tick();
+  for (int idx : ott_.active()) {
+    LdEntry& e = ott_.at(idx);
+    if (!e.valid) continue;
+    const unsigned pi = cfg_->variant == Variant::kFullCounter
+                            ? std::min<unsigned>(e.phase, kNumReadPhases - 1)
+                            : 0u;
+    if (e.phase != static_cast<std::uint8_t>(ReadPhase::kDone)) {
+      ++e.phase_cycles[pi];
+    }
+    if (pulse && monitored(e)) {
+      if (e.counter.pulse()) {
+        flag(FaultKind::kTimeout, &e,
+             cfg_->variant == Variant::kFullCounter
+                 ? static_cast<ReadPhase>(e.phase)
+                 : ReadPhase::kArVldArRdy,
+             cycle);
+        e.counter.stop();
+      }
+    }
+  }
+}
+
+void ReadGuard::observe(const axi::AxiReq& q, const axi::AxiRsp& s,
+                        bool admitted, std::uint64_t cycle) {
+  // ---- AR channel ----
+  if (q.ar_valid) {
+    if (pending_ar_ < 0 && admitted) {
+      enqueue_pending(q.ar, cycle);
+    } else if (pending_ar_ >= 0 && !(q.ar == pending_flit_)) {
+      flag(FaultKind::kHandshake, &ott_.at(pending_ar_),
+           ReadPhase::kArVldArRdy, cycle);
+      pending_flit_ = q.ar;
+    }
+  } else if (prev_ar_valid_ && pending_ar_ >= 0) {
+    flag(FaultKind::kHandshake, &ott_.at(pending_ar_), ReadPhase::kArVldArRdy,
+         cycle);
+    LdEntry& e = ott_.at(pending_ar_);
+    remap_.release(e.tid);
+    ott_.dequeue(e.tid);
+    pending_ar_ = -1;
+  }
+
+  if (axi::ar_fire(q, s) && pending_ar_ >= 0) {
+    LdEntry& e = ott_.at(pending_ar_);
+    e.accepted = true;
+    advance_phase(e, ReadPhase::kArRdyRVld);
+    pending_ar_ = -1;
+  }
+
+  // ---- R channel ----
+  if (s.r_valid) {
+    const auto tid = remap_.lookup(s.r.id);
+    const int head = tid ? ott_.head_of(*tid) : -1;
+    if (!tid || head < 0 || !ott_.at(head).accepted) {
+      if (!r_orphan_flagged_) {
+        flag(FaultKind::kUnrequested, nullptr, ReadPhase::kArRdyRVld, cycle,
+             s.r.id);
+        r_orphan_flagged_ = true;
+      }
+    } else {
+      LdEntry& e = ott_.at(head);
+      if (static_cast<ReadPhase>(e.phase) == ReadPhase::kArRdyRVld) {
+        advance_phase(e, ReadPhase::kRVldRRdy);
+      }
+      if (axi::r_fire(q, s)) {
+        ++e.beats;
+        ++stats_.beats;
+        const bool should_be_last = e.beats == axi::beats(e.len);
+        if (s.r.last != should_be_last) {
+          flag(FaultKind::kHandshake, &e, ReadPhase::kRVldRLast, cycle);
+        }
+        if (s.r.last || should_be_last) {
+          advance_phase(e, ReadPhase::kDone);
+          complete(head, cycle);
+        } else if (static_cast<ReadPhase>(e.phase) == ReadPhase::kRVldRRdy) {
+          advance_phase(e, ReadPhase::kRVldRLast);
+        }
+      }
+    }
+  } else {
+    r_orphan_flagged_ = false;
+  }
+
+  prev_ar_valid_ = q.ar_valid;
+  pulse_counters(cycle);
+}
+
+void ReadGuard::clear() {
+  remap_.clear();
+  ott_.clear();
+  prescaler_.reset();
+  pending_ar_ = -1;
+  prev_ar_valid_ = false;
+  r_orphan_flagged_ = false;
+  faults_.clear();
+}
+
+}  // namespace tmu

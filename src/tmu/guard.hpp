@@ -1,0 +1,160 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "axi/types.hpp"
+#include "sim/stats.hpp"
+#include "tmu/budget.hpp"
+#include "tmu/config.hpp"
+#include "tmu/counter.hpp"
+#include "tmu/fault.hpp"
+#include "tmu/id_remap.hpp"
+#include "tmu/ott.hpp"
+
+namespace tmu {
+
+/// Per-guard bookkeeping counters and (Fc) performance statistics.
+struct GuardStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t beats = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t protocol_faults = 0;
+  sim::RunningStats total_latency;                 ///< enqueue -> complete
+  std::array<sim::RunningStats, kMaxPhases> phase; ///< Fc per-phase cycles
+};
+
+/// One completed transaction's phase-level timing (Fc performance log).
+struct TxnPerfRecord {
+  bool is_write = true;
+  axi::Id id = 0;
+  axi::Addr addr = 0;
+  std::uint8_t len = 0;
+  std::array<std::uint32_t, kMaxPhases> phase_cycles{};
+  std::uint32_t total_cycles = 0;
+};
+
+/// Write Guard (§II-A, Figs. 1-2): tracks every outstanding write through
+/// the six phases of Fig. 4 (Fc) or with a single whole-transaction
+/// counter (Tc); performs timeout, handshake, ID-match and
+/// unrequested-response checks.
+class WriteGuard {
+ public:
+  WriteGuard(const TmuConfig& cfg)
+      : cfg_(&cfg),
+        remap_(cfg.max_uniq_ids),
+        ott_(cfg.max_uniq_ids, cfg.txn_per_uniq_id),
+        budget_(cfg),
+        prescaler_(cfg.prescaler_step) {}
+
+  /// True if a new write with this AXI ID could be admitted now.
+  bool can_admit(axi::Id id) const {
+    if (ott_.full()) return false;
+    if (auto t = remap_.lookup(id)) return !ott_.id_full(*t);
+    return remap_.can_admit(id);
+  }
+
+  /// Observes one settled cycle of the manager-side link. `admitted`
+  /// reflects the TMU's gating decision for a new AW this cycle.
+  void observe(const axi::AxiReq& q, const axi::AxiRsp& s, bool admitted,
+               std::uint64_t cycle);
+
+  /// Faults flagged so far (drained by the TMU top level).
+  std::vector<FaultRecord>& faults() { return faults_; }
+
+  /// Clears all tracking state (after a recovery reset).
+  void clear();
+
+  const GuardStats& stats() const { return stats_; }
+  const std::vector<TxnPerfRecord>& perf_log() const { return perf_log_; }
+  std::uint64_t perf_log_dropped() const { return perf_dropped_; }
+  Ott& ott() { return ott_; }
+  const Ott& ott() const { return ott_; }
+  IdRemapper& remapper() { return remap_; }
+  const IdRemapper& remapper() const { return remap_; }
+
+ private:
+  void enqueue_pending(const axi::AwFlit& aw, std::uint64_t cycle);
+  void advance_phase(LdEntry& e, WritePhase next);
+  void complete(int idx, std::uint64_t cycle);
+  void flag(FaultKind kind, const LdEntry* e, WritePhase phase,
+            std::uint64_t cycle, axi::Id id_hint = 0);
+  int active_w_entry() const;  ///< EI-front txn currently owning W channel
+  void pulse_counters(std::uint64_t cycle);
+
+  const TmuConfig* cfg_;
+  IdRemapper remap_;
+  Ott ott_;
+  BudgetPolicy budget_;
+  Prescaler prescaler_;
+
+  int pending_aw_ = -1;       ///< LD index of the AW being presented
+  axi::AwFlit pending_flit_{};
+  bool prev_aw_valid_ = false;
+  bool w_orphan_flagged_ = false;  ///< W-without-AW flagged (edge detect)
+  bool b_orphan_flagged_ = false;  ///< unrequested B flagged (edge detect)
+
+  std::vector<FaultRecord> faults_;
+  GuardStats stats_;
+  std::vector<TxnPerfRecord> perf_log_;
+  std::uint64_t perf_dropped_ = 0;
+};
+
+/// Read Guard: the four phases of Fig. 5, same checks as the Write Guard.
+class ReadGuard {
+ public:
+  ReadGuard(const TmuConfig& cfg)
+      : cfg_(&cfg),
+        remap_(cfg.max_uniq_ids),
+        ott_(cfg.max_uniq_ids, cfg.txn_per_uniq_id),
+        budget_(cfg),
+        prescaler_(cfg.prescaler_step) {}
+
+  bool can_admit(axi::Id id) const {
+    if (ott_.full()) return false;
+    if (auto t = remap_.lookup(id)) return !ott_.id_full(*t);
+    return remap_.can_admit(id);
+  }
+
+  void observe(const axi::AxiReq& q, const axi::AxiRsp& s, bool admitted,
+               std::uint64_t cycle);
+
+  std::vector<FaultRecord>& faults() { return faults_; }
+  void clear();
+
+  const GuardStats& stats() const { return stats_; }
+  const std::vector<TxnPerfRecord>& perf_log() const { return perf_log_; }
+  std::uint64_t perf_log_dropped() const { return perf_dropped_; }
+  Ott& ott() { return ott_; }
+  const Ott& ott() const { return ott_; }
+  IdRemapper& remapper() { return remap_; }
+  const IdRemapper& remapper() const { return remap_; }
+
+ private:
+  void enqueue_pending(const axi::ArFlit& ar, std::uint64_t cycle);
+  void advance_phase(LdEntry& e, ReadPhase next);
+  void complete(int idx, std::uint64_t cycle);
+  void flag(FaultKind kind, const LdEntry* e, ReadPhase phase,
+            std::uint64_t cycle, axi::Id id_hint = 0);
+  void pulse_counters(std::uint64_t cycle);
+
+  const TmuConfig* cfg_;
+  IdRemapper remap_;
+  Ott ott_;
+  BudgetPolicy budget_;
+  Prescaler prescaler_;
+
+  int pending_ar_ = -1;
+  axi::ArFlit pending_flit_{};
+  bool prev_ar_valid_ = false;
+  bool r_orphan_flagged_ = false;  ///< unrequested R flagged (edge detect)
+
+  std::vector<FaultRecord> faults_;
+  GuardStats stats_;
+  std::vector<TxnPerfRecord> perf_log_;
+  std::uint64_t perf_dropped_ = 0;
+};
+
+}  // namespace tmu

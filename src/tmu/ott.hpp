@@ -1,0 +1,156 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "axi/types.hpp"
+#include "tmu/counter.hpp"
+
+namespace tmu {
+
+/// Maximum phases of any variant (write Full-Counter has six).
+inline constexpr unsigned kMaxPhases = 6;
+
+/// One Linked Data (LD) table entry: a single outstanding transaction
+/// (§II-C). `next` links entries of the same tID into the per-ID FIFO
+/// whose head/tail pointers live in the HT table.
+struct LdEntry {
+  bool valid = false;
+  std::uint8_t tid = 0;
+  axi::Id orig_id = 0;
+  axi::Addr addr = 0;
+  std::uint8_t len = 0;
+  std::uint8_t phase = 0;   ///< WritePhase / ReadPhase value
+  unsigned beats = 0;       ///< data beats transferred so far
+  bool accepted = false;    ///< address handshake completed
+  std::uint64_t enq_cycle = 0;
+
+  PrescaledCounter counter;  ///< watchdog for the active phase (Fc) or
+                             ///< the whole transaction (Tc)
+  std::array<std::uint32_t, kMaxPhases> phase_cycles{};  ///< measured
+  std::array<std::uint32_t, kMaxPhases> phase_budget{};  ///< allotted
+
+  int next = -1;  ///< next LD index in this tID's FIFO, -1 = none
+};
+
+/// Outstanding Transaction Table (Fig. 3): the HT table keeps a FIFO per
+/// tID (in-order completion of same-ID transactions), the LD table holds
+/// the transaction details, and the EI table records AW/AR acceptance
+/// order so W beats associate with the correct write transaction.
+class Ott {
+ public:
+  Ott(std::uint32_t max_uniq_ids, std::uint32_t txn_per_uniq_id)
+      : txn_per_id_(txn_per_uniq_id),
+        ld_(max_uniq_ids * txn_per_uniq_id),
+        ht_(max_uniq_ids) {
+    clear();
+  }
+
+  bool full() const { return free_.empty(); }
+  bool id_full(std::uint8_t tid) const {
+    return ht_[tid].count >= txn_per_id_;
+  }
+  std::uint32_t occupancy() const {
+    return static_cast<std::uint32_t>(ld_.size() - free_.size());
+  }
+  std::uint32_t capacity() const {
+    return static_cast<std::uint32_t>(ld_.size());
+  }
+
+  /// Allocates an LD entry, appends it to tid's FIFO and the EI order.
+  /// Returns the LD index, or -1 when saturated.
+  int enqueue(std::uint8_t tid, axi::Id orig_id, axi::Addr addr,
+              std::uint8_t len, std::uint64_t cycle) {
+    if (free_.empty() || id_full(tid)) return -1;
+    const int idx = free_.front();
+    free_.pop_front();
+    LdEntry& e = ld_[idx];
+    e = LdEntry{};
+    e.valid = true;
+    e.tid = tid;
+    e.orig_id = orig_id;
+    e.addr = addr;
+    e.len = len;
+    e.enq_cycle = cycle;
+    HtEntry& h = ht_[tid];
+    if (h.head < 0) {
+      h.head = h.tail = idx;
+    } else {
+      ld_[h.tail].next = idx;
+      h.tail = idx;
+    }
+    ++h.count;
+    ei_.push_back(idx);
+    return idx;
+  }
+
+  /// Head (oldest outstanding) of a tID's FIFO; -1 if empty.
+  int head_of(std::uint8_t tid) const { return ht_[tid].head; }
+
+  /// Removes the head of tid's FIFO (same-ID in-order completion).
+  void dequeue(std::uint8_t tid) {
+    HtEntry& h = ht_[tid];
+    if (h.head < 0) return;
+    const int idx = h.head;
+    h.head = ld_[idx].next;
+    if (h.head < 0) h.tail = -1;
+    --h.count;
+    ld_[idx].valid = false;
+    ld_[idx].next = -1;
+    // Remove from EI order (normally the front for writes).
+    for (auto it = ei_.begin(); it != ei_.end(); ++it) {
+      if (*it == idx) {
+        ei_.erase(it);
+        break;
+      }
+    }
+    free_.push_front(idx);  // LIFO reuse, like a hardware free stack
+  }
+
+  LdEntry& at(int idx) { return ld_[idx]; }
+  const LdEntry& at(int idx) const { return ld_[idx]; }
+
+  /// Enqueue-order index list (EI table).
+  const std::deque<int>& order() const { return ei_; }
+
+  /// Number of valid transactions enqueued strictly before `idx`
+  /// (the "accumulated outstanding traffic" for adaptive budgets).
+  std::uint32_t ahead_of(int idx) const {
+    std::uint32_t n = 0;
+    for (int i : ei_) {
+      if (i == idx) break;
+      ++n;
+    }
+    return n;
+  }
+
+  /// All valid LD indices, enqueue order.
+  std::vector<int> active() const {
+    return std::vector<int>(ei_.begin(), ei_.end());
+  }
+
+  void clear() {
+    for (auto& e : ld_) e = LdEntry{};
+    for (auto& h : ht_) h = HtEntry{};
+    ei_.clear();
+    free_.clear();
+    for (int i = 0; i < static_cast<int>(ld_.size()); ++i) free_.push_back(i);
+  }
+
+ private:
+  struct HtEntry {
+    int head = -1;
+    int tail = -1;
+    std::uint32_t count = 0;
+  };
+
+  std::uint32_t txn_per_id_;
+  std::vector<LdEntry> ld_;
+  std::vector<HtEntry> ht_;
+  std::deque<int> ei_;
+  std::deque<int> free_;
+};
+
+}  // namespace tmu

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+
+namespace tmu::regs {
+
+/// Software-visible register map of the TMU (§II-A). All registers are
+/// 32-bit; byte offsets. Accessed through Tmu::read_reg / Tmu::write_reg
+/// (in an SoC, through the regbus demux).
+enum : std::uint32_t {
+  kCtrl = 0x00,        ///< [0] enable [1] irq_en [2] reset_on_fault
+                       ///< [3] adaptive_en; RO [8] variant (0=Tc,1=Fc)
+  kStatus = 0x04,      ///< RO [0] severed [1] irq; [31:16] recoveries
+  kPrescaler = 0x08,   ///< prescaler step; bit 31 = sticky enable
+  kTcBudget = 0x0C,    ///< Tiny-Counter whole-transaction budget
+  kBudgetAw = 0x10,    ///< AWVLD_AWRDY
+  kBudgetWEntry = 0x14,
+  kBudgetWHs = 0x18,
+  kBudgetWData = 0x1C,
+  kBudgetBWait = 0x20,
+  kBudgetBHs = 0x24,
+  kBudgetAr = 0x28,
+  kBudgetREntry = 0x2C,
+  kBudgetRHs = 0x30,
+  kBudgetRData = 0x34,
+  kAdaptPerBeat = 0x38,
+  kAdaptPerAhead = 0x3C,
+  kFaultCount = 0x40,  ///< RO total logged faults
+  kFaultInfo = 0x44,   ///< RO pop: packed fault descriptor (see pack_fault)
+  kOccupancy = 0x48,   ///< RO write occ [7:0], read occ [15:8],
+                       ///< write ids [23:16], read ids [31:24]
+  kIrqClear = 0x4C,    ///< W1C: any write clears the interrupt
+  kTxnCount = 0x50,    ///< RO completed transactions (writes + reads)
+  kCapacity = 0x54,    ///< RO MaxUniqIDs [7:0], TxnPerUniqID [15:8],
+                       ///< MaxOutstdTxns [31:16]
+  // Latency statistics (§II-A "latency statistics"; cycles).
+  kWrLatMin = 0x60,    ///< RO min write latency observed
+  kWrLatMax = 0x64,    ///< RO max write latency observed
+  kWrLatAvg = 0x68,    ///< RO mean write latency (rounded)
+  kRdLatMin = 0x6C,
+  kRdLatMax = 0x70,
+  kRdLatAvg = 0x74,
+  kWrBeats = 0x78,     ///< RO write data beats transferred
+  kRdBeats = 0x7C,     ///< RO read data beats transferred
+  kLogDropped = 0x58,  ///< RO fault-log drops [15:0], perf-log drops [31:16]
+};
+
+/// Packed FAULT_INFO encoding:
+/// [3:0] kind  [7:4] phase  [8] is_write  [9] phase_valid
+/// [19:10] id (low bits)  [31:20] elapsed (saturated).
+inline std::uint32_t pack_fault(std::uint8_t kind, std::uint8_t phase,
+                                bool is_write, bool phase_valid,
+                                std::uint32_t id, std::uint32_t elapsed) {
+  const std::uint32_t el = elapsed > 0xFFF ? 0xFFFu : elapsed;
+  return (kind & 0xFu) | (std::uint32_t{phase} & 0xFu) << 4 |
+         std::uint32_t{is_write} << 8 | std::uint32_t{phase_valid} << 9 |
+         (id & 0x3FFu) << 10 | el << 20;
+}
+
+}  // namespace tmu::regs

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "area/area_model.hpp"
+#include "tmu/config.hpp"
+
+namespace {
+
+using area::counter_width;
+using area::estimate;
+using area::paper_config_area;
+using tmu::Variant;
+
+TEST(AreaModel, CounterWidths) {
+  EXPECT_EQ(counter_width(256, 1), 9u);   // count to 256 -> 9 bits
+  EXPECT_EQ(counter_width(255, 1), 8u);
+  EXPECT_EQ(counter_width(256, 32), 4u);  // limit 8 -> 4 bits
+  EXPECT_EQ(counter_width(256, 128), 2u);
+  EXPECT_EQ(counter_width(256, 256), 2u);  // conservative minimum limit 2
+  EXPECT_EQ(counter_width(1, 1), 1u);
+}
+
+// §III-A: Tc monitoring 16-32 outstanding transactions occupies
+// 1330-2616 um^2; Fc occupies 3452-6787 um^2. The model is calibrated
+// against these four points; they must stay within 10%.
+TEST(AreaModel, PaperCalibrationPoints) {
+  EXPECT_NEAR(paper_config_area(Variant::kTinyCounter, 16, 1, false), 1330,
+              133);
+  EXPECT_NEAR(paper_config_area(Variant::kTinyCounter, 32, 1, false), 2616,
+              262);
+  EXPECT_NEAR(paper_config_area(Variant::kFullCounter, 16, 1, false), 3452,
+              345);
+  EXPECT_NEAR(paper_config_area(Variant::kFullCounter, 32, 1, false), 6787,
+              679);
+}
+
+// "On average, Tc requires about 38% of Fc's area."
+TEST(AreaModel, TcIsAbout38PercentOfFc) {
+  double ratio_sum = 0;
+  int n = 0;
+  for (std::uint32_t txns : {8u, 16u, 32u, 64u, 128u}) {
+    ratio_sum += paper_config_area(Variant::kTinyCounter, txns, 1, false) /
+                 paper_config_area(Variant::kFullCounter, txns, 1, false);
+    ++n;
+  }
+  const double avg = ratio_sum / n;
+  EXPECT_GT(avg, 0.33);
+  EXPECT_LT(avg, 0.45);
+}
+
+// "Prescalers reduce area by 18-39% (Tc) and 19-32% (Fc)."
+TEST(AreaModel, PrescalerSavingsInPaperRanges) {
+  for (std::uint32_t txns : {16u, 32u, 64u, 128u}) {
+    const double tc = paper_config_area(Variant::kTinyCounter, txns, 1, false);
+    const double tcp = paper_config_area(Variant::kTinyCounter, txns, 32, true);
+    const double fc = paper_config_area(Variant::kFullCounter, txns, 1, false);
+    const double fcp = paper_config_area(Variant::kFullCounter, txns, 32, true);
+    const double tc_save = 1.0 - tcp / tc;
+    const double fc_save = 1.0 - fcp / fc;
+    EXPECT_GE(tc_save, 0.18) << "txns=" << txns;
+    EXPECT_LE(tc_save, 0.39) << "txns=" << txns;
+    EXPECT_GE(fc_save, 0.19) << "txns=" << txns;
+    EXPECT_LE(fc_save, 0.32) << "txns=" << txns;
+  }
+}
+
+TEST(AreaModel, AreaMonotoneInOutstanding) {
+  for (Variant v : {Variant::kTinyCounter, Variant::kFullCounter}) {
+    double prev = 0;
+    for (std::uint32_t txns : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+      const double a = paper_config_area(v, txns, 1, false);
+      EXPECT_GT(a, prev);
+      prev = a;
+    }
+  }
+}
+
+TEST(AreaModel, AreaMonotoneDecreasingInPrescaler) {
+  for (Variant v : {Variant::kTinyCounter, Variant::kFullCounter}) {
+    double prev = 1e18;
+    for (std::uint32_t step : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+      const double a = paper_config_area(v, 128, step, step > 1);
+      EXPECT_LE(a, prev) << "step=" << step;
+      prev = a;
+    }
+  }
+}
+
+TEST(AreaModel, OrderingTcPreLessThanTcLessThanFcPreLessThanFc) {
+  for (std::uint32_t txns : {8u, 32u, 128u}) {
+    const double tc = paper_config_area(Variant::kTinyCounter, txns, 1, false);
+    const double tcp = paper_config_area(Variant::kTinyCounter, txns, 32, true);
+    const double fc = paper_config_area(Variant::kFullCounter, txns, 1, false);
+    const double fcp = paper_config_area(Variant::kFullCounter, txns, 32, true);
+    EXPECT_LT(tcp, tc);
+    EXPECT_LT(tc, fcp);
+    EXPECT_LT(fcp, fc);
+  }
+}
+
+TEST(AreaModel, BreakdownSumsToTotal) {
+  const auto cfg = area::paper_ip_config(Variant::kFullCounter, 32, 1, false);
+  const auto a = estimate(cfg);
+  const double sum = a.ld_table + a.ht_table + a.ei_table + a.remapper +
+                     a.comparators + a.control;
+  EXPECT_NEAR(a.total, sum * area::Gf12Costs{}.overhead, 1e-6);
+  EXPECT_GT(a.ld_table, 0.5 * a.total / area::Gf12Costs{}.overhead)
+      << "LD storage should dominate";
+}
+
+TEST(AreaModel, FcEntryLargerThanTc) {
+  auto fc = area::paper_ip_config(Variant::kFullCounter, 16, 1, false);
+  auto tc = area::paper_ip_config(Variant::kTinyCounter, 16, 1, false);
+  EXPECT_GT(area::ld_entry_bits(fc, true), 2 * area::ld_entry_bits(tc, true));
+  EXPECT_GT(area::ld_entry_bits(fc, true), area::ld_entry_bits(fc, false))
+      << "write guard (6 phases) bigger than read guard (4 phases)";
+}
+
+// Property sweep: prescaler never increases area; sticky adds at most
+// one bit per entry worth of area.
+class AreaSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AreaSweep, PrescalerNeverIncreasesArea) {
+  const auto [txns, step] = GetParam();
+  for (Variant v : {Variant::kTinyCounter, Variant::kFullCounter}) {
+    const double base = paper_config_area(v, txns, 1, false);
+    const double pre = paper_config_area(v, txns, step, true);
+    EXPECT_LE(pre, base);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, AreaSweep,
+                         ::testing::Combine(::testing::Values(4, 16, 64, 128),
+                                            ::testing::Values(2, 8, 32,
+                                                              128)));
+
+}  // namespace

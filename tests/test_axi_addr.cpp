@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "axi/addr.hpp"
+#include "axi/types.hpp"
+
+namespace {
+
+using axi::Burst;
+
+TEST(AxiAddr, IncrBeatAddresses) {
+  // 8-byte beats starting at 0x1000.
+  EXPECT_EQ(axi::beat_addr(0x1000, 3, 3, Burst::kIncr, 0), 0x1000u);
+  EXPECT_EQ(axi::beat_addr(0x1000, 3, 3, Burst::kIncr, 1), 0x1008u);
+  EXPECT_EQ(axi::beat_addr(0x1000, 3, 3, Burst::kIncr, 3), 0x1018u);
+}
+
+TEST(AxiAddr, IncrUnalignedFirstBeat) {
+  // Unaligned start: first beat keeps the byte address, later beats align.
+  EXPECT_EQ(axi::beat_addr(0x1003, 3, 1, Burst::kIncr, 0), 0x1003u);
+  EXPECT_EQ(axi::beat_addr(0x1003, 3, 1, Burst::kIncr, 1), 0x1008u);
+}
+
+TEST(AxiAddr, FixedBurstRepeatsAddress) {
+  for (unsigned beat = 0; beat < 8; ++beat) {
+    EXPECT_EQ(axi::beat_addr(0x2000, 2, 7, Burst::kFixed, beat), 0x2000u);
+  }
+}
+
+TEST(AxiAddr, WrapBurstWrapsAtContainer) {
+  // 4-beat wrap of 8-byte beats starting at 0x1010: container [0x1000,0x1020).
+  EXPECT_EQ(axi::beat_addr(0x1010, 3, 3, Burst::kWrap, 0), 0x1010u);
+  EXPECT_EQ(axi::beat_addr(0x1010, 3, 3, Burst::kWrap, 1), 0x1018u);
+  EXPECT_EQ(axi::beat_addr(0x1010, 3, 3, Burst::kWrap, 2), 0x1000u);
+  EXPECT_EQ(axi::beat_addr(0x1010, 3, 3, Burst::kWrap, 3), 0x1008u);
+}
+
+TEST(AxiAddr, Within4K) {
+  EXPECT_TRUE(axi::within_4k(0x0FF8, 3, 0));    // one beat at page end
+  EXPECT_FALSE(axi::within_4k(0x0FF8, 3, 1));   // second beat crosses
+  EXPECT_TRUE(axi::within_4k(0x1000, 3, 255));  // 256 beats * 8B = 2KiB
+}
+
+TEST(AxiAddr, LegalWrapLengths) {
+  EXPECT_TRUE(axi::legal_wrap_len(1));    // 2 beats
+  EXPECT_TRUE(axi::legal_wrap_len(3));    // 4 beats
+  EXPECT_TRUE(axi::legal_wrap_len(7));    // 8 beats
+  EXPECT_TRUE(axi::legal_wrap_len(15));   // 16 beats
+  EXPECT_FALSE(axi::legal_wrap_len(0));   // 1 beat
+  EXPECT_FALSE(axi::legal_wrap_len(2));   // 3 beats
+  EXPECT_FALSE(axi::legal_wrap_len(31));  // 32 beats
+}
+
+TEST(AxiTypes, BeatsAndBytes) {
+  EXPECT_EQ(axi::beats(0), 1u);
+  EXPECT_EQ(axi::beats(255), 256u);
+  EXPECT_EQ(axi::beat_bytes(0), 1u);
+  EXPECT_EQ(axi::beat_bytes(3), 8u);
+}
+
+TEST(AxiTypes, RespToString) {
+  EXPECT_STREQ(axi::to_string(axi::Resp::kOkay), "OKAY");
+  EXPECT_STREQ(axi::to_string(axi::Resp::kSlvErr), "SLVERR");
+  EXPECT_STREQ(axi::to_string(axi::Resp::kDecErr), "DECERR");
+}
+
+// Property-style sweep: every beat of every INCR burst stays within
+// [aligned(start), start + beats*bytes).
+class IncrSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(IncrSweep, BeatsMonotoneAndBounded) {
+  const auto [size, len] = GetParam();
+  const axi::Addr start = 0x4000;
+  axi::Addr prev = 0;
+  for (unsigned beat = 0; beat < axi::beats(len); ++beat) {
+    const axi::Addr a = axi::beat_addr(start, size, len, Burst::kIncr, beat);
+    if (beat > 0) {
+      EXPECT_GT(a, prev);
+    }
+    EXPECT_GE(a, start & ~(axi::beat_bytes(size) - 1));
+    EXPECT_LT(a, start + axi::beat_bytes(size) * axi::beats(len));
+    prev = a;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IncrSweep,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Values(0, 1, 7, 15,
+                                                              255)));
+
+}  // namespace

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "axi/link.hpp"
+#include "axi/memory.hpp"
+#include "axi/scoreboard.hpp"
+#include "axi/traffic_gen.hpp"
+#include "sim/kernel.hpp"
+
+namespace {
+
+using namespace axi;
+
+struct MemFixture : ::testing::Test {
+  Link link;
+  TrafficGenerator gen{"gen", link};
+  MemorySubordinate mem{"mem", link};
+  Scoreboard sb{"sb", link};
+  sim::Simulator s;
+
+  void SetUp() override {
+    s.add(gen);
+    s.add(mem);
+    s.add(sb);
+    s.reset();
+  }
+
+  void run_to_completion(std::size_t n_txns, std::uint64_t budget = 2000) {
+    ASSERT_TRUE(
+        s.run_until([&] { return gen.completed() >= n_txns; }, budget))
+        << "only " << gen.completed() << "/" << n_txns << " completed";
+  }
+};
+
+TEST_F(MemFixture, SingleWriteCompletes) {
+  gen.push(TxnDesc{true, 0, 0x100, 0, 3, Burst::kIncr});
+  run_to_completion(1);
+  EXPECT_EQ(gen.records()[0].resp, Resp::kOkay);
+  EXPECT_EQ(mem.writes_done(), 1u);
+  EXPECT_EQ(sb.violation_count(), 0u);
+  // Data landed in storage.
+  EXPECT_EQ(mem.peek_beat(0x100, 3), pattern_data(0x100));
+}
+
+TEST_F(MemFixture, WriteThenReadBackMatches) {
+  gen.push(TxnDesc{true, 1, 0x200, 3, 3, Burst::kIncr});
+  run_to_completion(1);
+  gen.push(TxnDesc{false, 1, 0x200, 3, 3, Burst::kIncr});
+  run_to_completion(2);
+  EXPECT_EQ(gen.data_mismatches(), 0u);
+  EXPECT_EQ(mem.reads_done(), 1u);
+  EXPECT_EQ(sb.violation_count(), 0u);
+}
+
+TEST_F(MemFixture, BurstWriteAllBeatsStored) {
+  const std::uint8_t len = 7;
+  gen.push(TxnDesc{true, 0, 0x1000, len, 3, Burst::kIncr});
+  run_to_completion(1);
+  for (unsigned beat = 0; beat < beats(len); ++beat) {
+    const Addr a = 0x1000 + 8 * beat;
+    EXPECT_EQ(mem.peek_beat(a, 3), pattern_data(a)) << "beat " << beat;
+  }
+}
+
+TEST_F(MemFixture, ReadOfUnwrittenMemoryReturnsZero) {
+  gen.push(TxnDesc{false, 0, 0x9000, 0, 3, Burst::kIncr});
+  run_to_completion(1);
+  EXPECT_EQ(gen.data_mismatches(), 0u);
+  EXPECT_EQ(gen.records()[0].resp, Resp::kOkay);
+}
+
+TEST_F(MemFixture, MultipleOutstandingSameId) {
+  for (int i = 0; i < 8; ++i) {
+    gen.push(TxnDesc{true, 2, static_cast<Addr>(0x100 * i), 1, 3, Burst::kIncr});
+  }
+  run_to_completion(8);
+  EXPECT_EQ(sb.violation_count(), 0u);
+  EXPECT_EQ(mem.writes_done(), 8u);
+}
+
+TEST_F(MemFixture, InterleavedWritesAndReads) {
+  gen.push(TxnDesc{true, 0, 0x000, 3, 3, Burst::kIncr});
+  gen.push(TxnDesc{true, 1, 0x100, 3, 3, Burst::kIncr});
+  run_to_completion(2);
+  gen.push(TxnDesc{false, 0, 0x000, 3, 3, Burst::kIncr});
+  gen.push(TxnDesc{false, 1, 0x100, 3, 3, Burst::kIncr});
+  run_to_completion(4);
+  EXPECT_EQ(gen.data_mismatches(), 0u);
+  EXPECT_EQ(sb.violation_count(), 0u);
+}
+
+TEST_F(MemFixture, WrapBurstReadBack) {
+  gen.push(TxnDesc{true, 0, 0x1010, 3, 3, Burst::kWrap});
+  run_to_completion(1);
+  gen.push(TxnDesc{false, 0, 0x1010, 3, 3, Burst::kWrap});
+  run_to_completion(2);
+  EXPECT_EQ(gen.data_mismatches(), 0u);
+  EXPECT_EQ(sb.violation_count(), 0u);
+}
+
+TEST_F(MemFixture, ErrorRegionReturnsSlvErr) {
+  mem.hw_reset();  // no-op here, but exercises the path
+  // Reconfigure: rebuild a memory with an error region.
+}
+
+TEST(MemErrorRegion, WriteAndReadGetSlvErr) {
+  Link link;
+  TrafficGenerator gen("gen", link);
+  MemoryConfig cfg;
+  cfg.error_base = 0x8000;
+  cfg.error_end = 0x9000;
+  MemorySubordinate mem("mem", link, cfg);
+  sim::Simulator s;
+  s.add(gen);
+  s.add(mem);
+  s.reset();
+  gen.push(TxnDesc{true, 0, 0x8000, 0, 3, Burst::kIncr});
+  gen.push(TxnDesc{false, 0, 0x8100, 0, 3, Burst::kIncr});
+  ASSERT_TRUE(s.run_until([&] { return gen.completed() >= 2; }, 1000));
+  EXPECT_EQ(gen.error_responses(), 2u);
+  for (const auto& r : gen.records()) EXPECT_EQ(r.resp, Resp::kSlvErr);
+}
+
+TEST(MemTiming, SlowMemoryStillCorrect) {
+  Link link;
+  TrafficGenerator gen("gen", link);
+  MemoryConfig cfg;
+  cfg.aw_accept_latency = 3;
+  cfg.ar_accept_latency = 2;
+  cfg.w_ready_every = 3;
+  cfg.b_latency = 5;
+  cfg.r_first_latency = 7;
+  cfg.r_beat_every = 2;
+  MemorySubordinate mem("mem", link, cfg);
+  Scoreboard sb("sb", link);
+  sim::Simulator s;
+  s.add(gen);
+  s.add(mem);
+  s.add(sb);
+  s.reset();
+  gen.push(TxnDesc{true, 0, 0x40, 7, 3, Burst::kIncr});
+  ASSERT_TRUE(s.run_until([&] { return gen.completed() >= 1; }, 2000));
+  gen.push(TxnDesc{false, 0, 0x40, 7, 3, Burst::kIncr});
+  ASSERT_TRUE(s.run_until([&] { return gen.completed() >= 2; }, 2000));
+  EXPECT_EQ(gen.data_mismatches(), 0u);
+  EXPECT_EQ(sb.violation_count(), 0u);
+  // Latency must reflect the configured delays (AW wait + 8 beats * 3).
+  EXPECT_GE(gen.records()[0].complete_cycle - gen.records()[0].issue_cycle,
+            8u * 3u);
+}
+
+TEST(MemTiming, HwResetClearsInflightOnly) {
+  Link link;
+  TrafficGenerator gen("gen", link);
+  MemorySubordinate mem("mem", link);
+  sim::Simulator s;
+  s.add(gen);
+  s.add(mem);
+  s.reset();
+  gen.push(TxnDesc{true, 0, 0x10, 0, 3, Burst::kIncr});
+  ASSERT_TRUE(s.run_until([&] { return gen.completed() >= 1; }, 500));
+  const auto stored = mem.peek_beat(0x10, 3);
+  mem.hw_reset();
+  s.run(2);
+  EXPECT_EQ(mem.peek_beat(0x10, 3), stored);  // storage survives
+}
+
+TEST(MemBackdoor, PeekPoke) {
+  Link link;
+  MemorySubordinate mem("mem", link);
+  mem.poke(0x123, 0xAB);
+  EXPECT_EQ(mem.peek(0x123), 0xAB);
+  EXPECT_EQ(mem.peek(0x124), 0x00);
+}
+
+// Parameterized: all burst lengths complete and store correctly.
+class BurstLenSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BurstLenSweep, WriteReadRoundTrip) {
+  const std::uint8_t len = static_cast<std::uint8_t>(GetParam());
+  Link link;
+  TrafficGenerator gen("gen", link);
+  MemorySubordinate mem("mem", link);
+  Scoreboard sb("sb", link);
+  sim::Simulator s;
+  s.add(gen);
+  s.add(mem);
+  s.add(sb);
+  s.reset();
+  gen.push(TxnDesc{true, 0, 0x2000, len, 3, Burst::kIncr});
+  ASSERT_TRUE(s.run_until([&] { return gen.completed() >= 1; }, 5000));
+  gen.push(TxnDesc{false, 0, 0x2000, len, 3, Burst::kIncr});
+  ASSERT_TRUE(s.run_until([&] { return gen.completed() >= 2; }, 5000));
+  EXPECT_EQ(gen.data_mismatches(), 0u);
+  EXPECT_EQ(sb.violation_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lens, BurstLenSweep,
+                         ::testing::Values(0, 1, 2, 3, 7, 15, 31, 63, 127,
+                                           255));
+
+}  // namespace

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "axi/link.hpp"
+#include "axi/memory.hpp"
+#include "axi/reg_slice.hpp"
+#include "axi/scoreboard.hpp"
+#include "axi/traffic_gen.hpp"
+#include "fault/injector.hpp"
+#include "sim/kernel.hpp"
+#include "soc/reset_unit.hpp"
+#include "tmu/tmu.hpp"
+
+namespace {
+
+using namespace axi;
+
+struct SliceFixture : ::testing::Test {
+  Link up, down;
+  TrafficGenerator gen{"gen", up};
+  RegSlice slice{"slice", up, down};
+  MemorySubordinate mem{"mem", down};
+  Scoreboard sb_up{"sb_up", up};
+  Scoreboard sb_down{"sb_down", down};
+  sim::Simulator s;
+
+  void SetUp() override {
+    s.add(gen);
+    s.add(slice);
+    s.add(mem);
+    s.add(sb_up);
+    s.add(sb_down);
+    s.reset();
+  }
+};
+
+TEST_F(SliceFixture, WriteAndReadThroughSlice) {
+  gen.push(TxnDesc{true, 0, 0x100, 7, 3, Burst::kIncr});
+  ASSERT_TRUE(s.run_until([&] { return gen.completed() >= 1; }, 500));
+  gen.push(TxnDesc{false, 0, 0x100, 7, 3, Burst::kIncr});
+  ASSERT_TRUE(s.run_until([&] { return gen.completed() >= 2; }, 500));
+  EXPECT_EQ(gen.data_mismatches(), 0u);
+  EXPECT_EQ(sb_up.violation_count(), 0u);
+  EXPECT_EQ(sb_down.violation_count(), 0u);
+}
+
+TEST_F(SliceFixture, AddsBoundedLatency) {
+  auto baseline = [] {
+    Link l;
+    TrafficGenerator g("g", l);
+    MemorySubordinate m("m", l);
+    sim::Simulator sim;
+    sim.add(g);
+    sim.add(m);
+    sim.reset();
+    g.push(TxnDesc{true, 0, 0x100, 3, 3, Burst::kIncr});
+    sim.run_until([&] { return g.completed() >= 1; }, 300);
+    return g.records()[0].complete_cycle;
+  }();
+  gen.push(TxnDesc{true, 0, 0x100, 3, 3, Burst::kIncr});
+  ASSERT_TRUE(s.run_until([&] { return gen.completed() >= 1; }, 300));
+  const auto sliced = gen.records()[0].complete_cycle;
+  EXPECT_GE(sliced, baseline);
+  EXPECT_LE(sliced, baseline + 4);  // <= 1 cycle per direction + skid
+}
+
+TEST_F(SliceFixture, SustainsFullThroughput) {
+  // Back-to-back beats: a correct skid buffer never bubbles the stream.
+  for (int i = 0; i < 4; ++i) {
+    gen.push(TxnDesc{true, 0, static_cast<Addr>(i * 0x100), 15, 3,
+                     Burst::kIncr});
+  }
+  ASSERT_TRUE(s.run_until([&] { return gen.completed() >= 4; }, 2000));
+  // 64 data beats total; with full throughput the whole run is well
+  // under 2 cycles/beat.
+  EXPECT_LT(s.cycle(), 160u);
+}
+
+TEST_F(SliceFixture, RandomTrafficSoak) {
+  RandomTrafficConfig rc;
+  rc.enabled = true;
+  rc.p_new_txn = 0.4;
+  rc.len_max = 15;
+  gen.set_random(rc);
+  s.run(5000);
+  EXPECT_GT(gen.completed(), 100u);
+  EXPECT_EQ(gen.data_mismatches(), 0u);
+  EXPECT_EQ(sb_up.violation_count(), 0u);
+  EXPECT_EQ(sb_down.violation_count(), 0u);
+}
+
+TEST(SliceChain, TmuWorksAcrossPipelinedPath) {
+  // gen -> TMU -> slice -> slice -> injector -> memory: the TMU's
+  // budgets measure end-to-end time, so pipelining must not break
+  // detection or healthy operation.
+  Link l_gen, l_tmu_out, l_s1, l_s2, l_mem;
+  TrafficGenerator gen("gen", l_gen);
+  tmu::TmuConfig cfg;
+  cfg.adaptive.enabled = true;
+  tmu::Tmu monitor("tmu", l_gen, l_tmu_out, cfg);
+  RegSlice s1("s1", l_tmu_out, l_s1);
+  RegSlice s2("s2", l_s1, l_s2);
+  fault::FaultInjector inj("inj", l_s2, l_mem);
+  MemorySubordinate mem("mem", l_mem);
+  soc::ResetUnit rst("rst", monitor.reset_req, monitor.reset_ack,
+                     [&] { mem.hw_reset(); });
+  sim::Simulator s;
+  s.add(gen);
+  s.add(monitor);
+  s.add(s1);
+  s.add(s2);
+  s.add(inj);
+  s.add(mem);
+  s.add(rst);
+  s.reset();
+
+  // Healthy burst completes with zero faults.
+  gen.push(TxnDesc{true, 0, 0x100, 7, 3, Burst::kIncr});
+  gen.push(TxnDesc{false, 0, 0x100, 7, 3, Burst::kIncr});
+  ASSERT_TRUE(s.run_until([&] { return gen.completed() >= 2; }, 1000));
+  EXPECT_FALSE(monitor.any_fault());
+  EXPECT_EQ(gen.data_mismatches(), 0u);
+
+  // A stall behind two pipeline stages is still caught.
+  inj.arm(fault::FaultPoint::kBValidStuck);
+  gen.push(TxnDesc{true, 1, 0x200, 3, 3, Burst::kIncr});
+  ASSERT_TRUE(s.run_until([&] { return monitor.any_fault(); }, 2000));
+  EXPECT_EQ(monitor.fault_log().front().kind, tmu::FaultKind::kTimeout);
+}
+
+}  // namespace

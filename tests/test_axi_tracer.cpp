@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "axi/link.hpp"
+#include "axi/memory.hpp"
+#include "axi/tracer.hpp"
+#include "axi/traffic_gen.hpp"
+#include "sim/kernel.hpp"
+
+namespace {
+
+using namespace axi;
+
+struct TracerFixture : ::testing::Test {
+  Link link;
+  TrafficGenerator gen{"gen", link};
+  MemorySubordinate mem{"mem", link};
+  Tracer tracer{"trace", link};
+  sim::Simulator s;
+
+  void SetUp() override {
+    s.add(gen);
+    s.add(mem);
+    s.add(tracer);
+    s.reset();
+  }
+};
+
+TEST_F(TracerFixture, CapturesWriteTransaction) {
+  gen.push(TxnDesc{true, 3, 0x1200, 3, 3, Burst::kIncr});
+  ASSERT_TRUE(s.run_until([&] { return gen.completed() >= 1; }, 300));
+  const auto aws = tracer.filter(TraceEvent::Kind::kAw);
+  const auto ws = tracer.filter(TraceEvent::Kind::kWBeat);
+  const auto bs = tracer.filter(TraceEvent::Kind::kB);
+  ASSERT_EQ(aws.size(), 1u);
+  EXPECT_EQ(aws[0].id, 3u);
+  EXPECT_EQ(aws[0].addr, 0x1200u);
+  EXPECT_EQ(aws[0].len, 3);
+  ASSERT_EQ(ws.size(), 4u);
+  EXPECT_FALSE(ws[0].last);
+  EXPECT_TRUE(ws[3].last);
+  ASSERT_EQ(bs.size(), 1u);
+  EXPECT_EQ(bs[0].resp, Resp::kOkay);
+}
+
+TEST_F(TracerFixture, CapturesReadTransaction) {
+  gen.push(TxnDesc{false, 1, 0x80, 7, 3, Burst::kIncr});
+  ASSERT_TRUE(s.run_until([&] { return gen.completed() >= 1; }, 300));
+  const auto ars = tracer.filter(TraceEvent::Kind::kAr);
+  const auto rs = tracer.filter(TraceEvent::Kind::kRBeat);
+  ASSERT_EQ(ars.size(), 1u);
+  ASSERT_EQ(rs.size(), 8u);
+  EXPECT_TRUE(rs[7].last);
+  for (int i = 0; i < 7; ++i) EXPECT_FALSE(rs[i].last);
+}
+
+TEST_F(TracerFixture, EventsAreCycleOrdered) {
+  gen.push(TxnDesc{true, 0, 0x0, 7, 3, Burst::kIncr});
+  gen.push(TxnDesc{false, 0, 0x0, 7, 3, Burst::kIncr});
+  ASSERT_TRUE(s.run_until([&] { return gen.completed() >= 2; }, 500));
+  std::uint64_t prev = 0;
+  for (const auto& e : tracer.events()) {
+    EXPECT_GE(e.cycle, prev);
+    prev = e.cycle;
+  }
+  EXPECT_GT(tracer.events().size(), 15u);
+}
+
+TEST_F(TracerFixture, CapacityBoundsAndDropCount) {
+  Link l2;
+  TrafficGenerator g2("g2", l2);
+  MemorySubordinate m2("m2", l2);
+  Tracer small("small", l2, /*capacity=*/4);
+  sim::Simulator s2;
+  s2.add(g2);
+  s2.add(m2);
+  s2.add(small);
+  s2.reset();
+  g2.push(TxnDesc{true, 0, 0x0, 15, 3, Burst::kIncr});
+  ASSERT_TRUE(s2.run_until([&] { return g2.completed() >= 1; }, 300));
+  EXPECT_EQ(small.events().size(), 4u);
+  EXPECT_GT(small.dropped(), 0u);
+}
+
+TEST_F(TracerFixture, DescribeFormats) {
+  gen.push(TxnDesc{true, 2, 0xAB00, 0, 3, Burst::kIncr});
+  ASSERT_TRUE(s.run_until([&] { return gen.completed() >= 1; }, 300));
+  const auto aws = tracer.filter(TraceEvent::Kind::kAw);
+  ASSERT_FALSE(aws.empty());
+  const std::string d = aws[0].describe();
+  EXPECT_NE(d.find("AW"), std::string::npos);
+  EXPECT_NE(d.find("ab00"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,170 @@
+// Crossbar arbitration and routing depth tests: round-robin fairness
+// under sustained contention, 3x3 topologies, FIXED bursts, and id_shift
+// variants.
+
+#include <gtest/gtest.h>
+
+#include "axi/crossbar.hpp"
+#include "axi/link.hpp"
+#include "axi/memory.hpp"
+#include "axi/scoreboard.hpp"
+#include "axi/traffic_gen.hpp"
+#include "sim/kernel.hpp"
+
+namespace {
+
+using namespace axi;
+
+TEST(XbarFairness, ThreeManagersShareOneSubordinate) {
+  Link m0, m1, m2, s0;
+  TrafficGenerator g0("g0", m0, 1), g1("g1", m1, 2), g2("g2", m2, 3);
+  MemorySubordinate mem("mem", s0);
+  Crossbar xbar("xbar", {&m0, &m1, &m2}, {&s0},
+                {AddrRange{0x0, 0x100000, 0}});
+  sim::Simulator s;
+  s.add(g0);
+  s.add(g1);
+  s.add(g2);
+  s.add(xbar);
+  s.add(mem);
+  s.reset();
+  for (int i = 0; i < 20; ++i) {
+    g0.push(TxnDesc{true, 0, static_cast<Addr>(0x0000 + i * 0x40), 3, 3,
+                    Burst::kIncr});
+    g1.push(TxnDesc{true, 0, static_cast<Addr>(0x4000 + i * 0x40), 3, 3,
+                    Burst::kIncr});
+    g2.push(TxnDesc{true, 0, static_cast<Addr>(0x8000 + i * 0x40), 3, 3,
+                    Burst::kIncr});
+  }
+  ASSERT_TRUE(s.run_until(
+      [&] {
+        return g0.completed() >= 20 && g1.completed() >= 20 &&
+               g2.completed() >= 20;
+      },
+      10000));
+  // Round-robin: completion counts advance together — no manager should
+  // lag by more than a couple of transactions mid-run. Final state: all
+  // equal. Check a mid-run fairness snapshot instead via latencies:
+  const double l0 = g0.write_latency().mean();
+  const double l1 = g1.write_latency().mean();
+  const double l2 = g2.write_latency().mean();
+  EXPECT_LT(std::abs(l0 - l1), 0.35 * std::max(l0, l1));
+  EXPECT_LT(std::abs(l1 - l2), 0.35 * std::max(l1, l2));
+}
+
+TEST(XbarFairness, ThreeByThreeRandomSoak) {
+  Link m0, m1, m2, s0, s1, s2;
+  TrafficGenerator g0("g0", m0, 11), g1("g1", m1, 22), g2("g2", m2, 33);
+  MemorySubordinate mem0("mem0", s0), mem1("mem1", s1), mem2("mem2", s2);
+  Crossbar xbar("xbar", {&m0, &m1, &m2}, {&s0, &s1, &s2},
+                {AddrRange{0x00000, 0x10000, 0},
+                 AddrRange{0x10000, 0x10000, 1},
+                 AddrRange{0x20000, 0x10000, 2}});
+  Scoreboard sb0("sb0", m0), sb1("sb1", m1), sb2("sb2", m2);
+  sim::Simulator s;
+  s.add(g0);
+  s.add(g1);
+  s.add(g2);
+  s.add(xbar);
+  s.add(mem0);
+  s.add(mem1);
+  s.add(mem2);
+  s.add(sb0);
+  s.add(sb1);
+  s.add(sb2);
+  s.reset();
+  RandomTrafficConfig rc;
+  rc.enabled = true;
+  rc.p_new_txn = 0.3;
+  rc.addr_max = 0x2FFF8;
+  rc.len_max = 7;
+  g0.set_random(rc);
+  g1.set_random(rc);
+  g2.set_random(rc);
+  s.run(10000);
+  EXPECT_GT(g0.completed() + g1.completed() + g2.completed(), 400u);
+  for (auto* g : {&g0, &g1, &g2}) {
+    EXPECT_EQ(g->data_mismatches(), 0u);
+    EXPECT_EQ(g->error_responses(), 0u);
+  }
+  for (auto* sb : {&sb0, &sb1, &sb2}) {
+    EXPECT_EQ(sb->violation_count(), 0u);
+  }
+}
+
+TEST(XbarFairness, FixedBurstRoutedCorrectly) {
+  Link m0, s0, s1;
+  TrafficGenerator g0("g0", m0);
+  MemorySubordinate mem0("mem0", s0), mem1("mem1", s1);
+  Crossbar xbar("xbar", {&m0}, {&s0, &s1},
+                {AddrRange{0x00000, 0x10000, 0},
+                 AddrRange{0x10000, 0x10000, 1}});
+  sim::Simulator s;
+  s.add(g0);
+  s.add(xbar);
+  s.add(mem0);
+  s.add(mem1);
+  s.reset();
+  g0.push(TxnDesc{true, 0, 0x10040, 3, 3, Burst::kFixed});
+  ASSERT_TRUE(s.run_until([&] { return g0.completed() >= 1; }, 500));
+  // FIXED burst: all beats hit the same address on subordinate 1.
+  EXPECT_EQ(mem1.peek_beat(0x10040, 3), pattern_data(0x10040));
+  EXPECT_EQ(mem1.writes_done(), 1u);
+  EXPECT_EQ(mem0.writes_done(), 0u);
+}
+
+TEST(XbarFairness, CustomIdShiftPreservesIds) {
+  Link m0, m1, s0;
+  TrafficGenerator g0("g0", m0, 7), g1("g1", m1, 8);
+  MemorySubordinate mem("mem", s0);
+  Crossbar xbar("xbar", {&m0, &m1}, {&s0}, {AddrRange{0x0, 0x10000, 0}},
+                /*id_shift=*/4);
+  sim::Simulator s;
+  s.add(g0);
+  s.add(g1);
+  s.add(xbar);
+  s.add(mem);
+  s.reset();
+  // IDs up to 15 fit under a 4-bit shift.
+  g0.push(TxnDesc{false, 15, 0x100, 3, 3, Burst::kIncr});
+  g1.push(TxnDesc{false, 9, 0x200, 3, 3, Burst::kIncr});
+  ASSERT_TRUE(s.run_until(
+      [&] { return g0.completed() >= 1 && g1.completed() >= 1; }, 500));
+  EXPECT_EQ(g0.records()[0].desc.id, 15u);
+  EXPECT_EQ(g1.records()[0].desc.id, 9u);
+  EXPECT_EQ(g0.data_mismatches() + g1.data_mismatches(), 0u);
+}
+
+TEST(XbarFairness, ReadWriteMixOnSharedSubordinate) {
+  Link m0, m1, s0;
+  TrafficGenerator g0("g0", m0, 41), g1("g1", m1, 42);
+  MemorySubordinate mem("mem", s0);
+  Crossbar xbar("xbar", {&m0, &m1}, {&s0}, {AddrRange{0x0, 0x10000, 0}});
+  Scoreboard sb("sb", m0);
+  sim::Simulator s;
+  s.add(g0);
+  s.add(g1);
+  s.add(xbar);
+  s.add(mem);
+  s.add(sb);
+  s.reset();
+  // g0 writes a region, then both read it concurrently.
+  for (int i = 0; i < 8; ++i) {
+    g0.push(TxnDesc{true, 0, static_cast<Addr>(i * 0x40), 7, 3,
+                    Burst::kIncr});
+  }
+  ASSERT_TRUE(s.run_until([&] { return g0.completed() >= 8; }, 2000));
+  for (int i = 0; i < 8; ++i) {
+    g0.push(TxnDesc{false, 1, static_cast<Addr>(i * 0x40), 7, 3,
+                    Burst::kIncr});
+    g1.push(TxnDesc{false, 1, static_cast<Addr>(i * 0x40), 7, 3,
+                    Burst::kIncr});
+  }
+  ASSERT_TRUE(s.run_until(
+      [&] { return g0.completed() >= 16 && g1.completed() >= 8; }, 4000));
+  EXPECT_EQ(g0.data_mismatches(), 0u);
+  EXPECT_EQ(g1.data_mismatches(), 0u);
+  EXPECT_EQ(sb.violation_count(), 0u);
+}
+
+}  // namespace

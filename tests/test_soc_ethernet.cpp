@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "axi/link.hpp"
+#include "axi/scoreboard.hpp"
+#include "axi/traffic_gen.hpp"
+#include "sim/kernel.hpp"
+#include "soc/ethernet.hpp"
+#include "soc/irq.hpp"
+#include "soc/reset_unit.hpp"
+
+namespace {
+
+using namespace axi;
+using soc::EthernetConfig;
+using soc::EthernetPeripheral;
+
+struct EthFixture : ::testing::Test {
+  Link link;
+  TrafficGenerator gen{"gen", link};
+  EthernetPeripheral eth{"eth", link};
+  Scoreboard sb{"sb", link};
+  sim::Simulator s;
+
+  void SetUp() override {
+    s.add(gen);
+    s.add(eth);
+    s.add(sb);
+    s.reset();
+  }
+};
+
+TEST_F(EthFixture, TxWriteEntersFifoAndDrains) {
+  gen.push(TxnDesc{true, 0, 0x1000, 7, 3, Burst::kIncr});  // TX window
+  ASSERT_TRUE(s.run_until([&] { return gen.completed() >= 1; }, 500));
+  EXPECT_EQ(eth.writes_done(), 1u);
+  ASSERT_TRUE(s.run_until([&] { return eth.frames_txed() >= 8; }, 100));
+  EXPECT_EQ(eth.tx_fifo_level(), 0u);
+  EXPECT_EQ(eth.rx_fifo_level(), 8u);  // loopback
+  EXPECT_EQ(sb.violation_count(), 0u);
+}
+
+TEST_F(EthFixture, MmioStatusReads) {
+  gen.push(TxnDesc{true, 0, 0x1000, 3, 3, Burst::kIncr});
+  ASSERT_TRUE(s.run_until([&] { return eth.frames_txed() >= 4; }, 500));
+  gen.push(TxnDesc{false, 0, 0x0010, 0, 3, Burst::kIncr});  // beats txed
+  ASSERT_TRUE(s.run_until([&] { return gen.completed() >= 2; }, 200));
+  // The read returned the beats-transmitted counter; the generator's
+  // pattern check ignores non-pattern values only if 0... so verify via
+  // record count: no SLVERR and completion is enough here.
+  EXPECT_EQ(gen.records()[1].resp, Resp::kOkay);
+}
+
+TEST_F(EthFixture, FifoBackpressuresLongBurst) {
+  // FIFO of 64 beats, drain every 4 cycles: a 250-beat write must be
+  // throttled to roughly the line rate, never dropped.
+  EthernetConfig cfg;
+  cfg.tx_fifo_beats = 64;
+  cfg.drain_every = 4;
+  Link l2;
+  TrafficGenerator g2("g2", l2);
+  EthernetPeripheral e2("e2", l2, cfg);
+  sim::Simulator s2;
+  s2.add(g2);
+  s2.add(e2);
+  s2.reset();
+  g2.push(TxnDesc{true, 0, 0x1000, 249, 3, Burst::kIncr});
+  ASSERT_TRUE(s2.run_until([&] { return g2.completed() >= 1; }, 5000));
+  // 250 beats at 1 beat / 4 cycles minimum: latency >= ~(250-64)*4.
+  EXPECT_GE(g2.records()[0].complete_cycle, (250u - 64u) * 4u);
+  ASSERT_TRUE(s2.run_until([&] { return e2.frames_txed() >= 250; }, 2000));
+}
+
+TEST_F(EthFixture, HwResetClearsFifosAndInflight) {
+  gen.push(TxnDesc{true, 0, 0x1000, 31, 3, Burst::kIncr});
+  s.run(10);
+  eth.hw_reset();
+  s.run(2);
+  EXPECT_EQ(eth.tx_fifo_level(), 0u);
+  EXPECT_EQ(eth.hw_resets(), 1u);
+}
+
+TEST_F(EthFixture, LoopbackReadReturnsTxData) {
+  gen.push(TxnDesc{true, 0, 0x1000, 3, 3, Burst::kIncr});
+  ASSERT_TRUE(s.run_until([&] { return eth.frames_txed() >= 4; }, 500));
+  gen.push(TxnDesc{false, 0, 0x1000, 3, 3, Burst::kIncr});
+  ASSERT_TRUE(s.run_until([&] { return gen.completed() >= 2; }, 500));
+  // Loopback returns the very pattern the generator wrote.
+  EXPECT_EQ(gen.data_mismatches(), 0u);
+}
+
+TEST(IrqController, LatchClaimComplete) {
+  sim::Wire<bool> src0, src1;
+  soc::IrqController plic("plic");
+  plic.add_source(src0);
+  plic.add_source(src1);
+  EXPECT_FALSE(plic.any_pending());
+  src1.force(true);
+  plic.tick();
+  EXPECT_TRUE(plic.any_pending());
+  EXPECT_EQ(plic.claim(), 1);
+  EXPECT_FALSE(plic.any_pending());
+  // Claimed sources do not re-latch while held.
+  plic.tick();
+  EXPECT_FALSE(plic.any_pending());
+  plic.complete(1);
+  src1.force(false);
+  plic.tick();
+  EXPECT_FALSE(plic.any_pending());
+}
+
+TEST(IrqController, PriorityIsLowestIndex) {
+  sim::Wire<bool> a, b;
+  soc::IrqController plic("plic");
+  plic.add_source(a);
+  plic.add_source(b);
+  a.force(true);
+  b.force(true);
+  plic.tick();
+  EXPECT_EQ(plic.claim(), 0);
+  EXPECT_EQ(plic.claim(), 1);
+  EXPECT_EQ(plic.claim(), -1);
+}
+
+TEST(ResetUnitTest, ReqAckHandshake) {
+  sim::Wire<bool> req, ack;
+  int resets = 0;
+  soc::ResetUnit rst("rst", req, ack, [&] { ++resets; }, 3);
+  sim::Simulator s;
+  s.add(rst);
+  s.reset();
+  req.force(true);
+  s.run(1);
+  EXPECT_EQ(resets, 1);
+  EXPECT_FALSE(ack.read());  // still resetting
+  s.run(4);
+  EXPECT_TRUE(ack.read());
+  req.force(false);
+  s.run(2);
+  EXPECT_FALSE(ack.read());  // back to idle
+  EXPECT_EQ(rst.resets_performed(), 1u);
+}
+
+TEST(ResetUnitTest, ZeroDurationAcksImmediately) {
+  sim::Wire<bool> req, ack;
+  soc::ResetUnit rst("rst", req, ack, nullptr, 0);
+  sim::Simulator s;
+  s.add(rst);
+  s.reset();
+  req.force(true);
+  s.run(2);
+  EXPECT_TRUE(ack.read());
+}
+
+}  // namespace

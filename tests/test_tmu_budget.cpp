@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "tmu/budget.hpp"
+#include "tmu/config.hpp"
+
+namespace {
+
+using tmu::BudgetPolicy;
+using tmu::TmuConfig;
+
+TmuConfig base_cfg() {
+  TmuConfig cfg;
+  cfg.budgets.aw_vld_aw_rdy = 10;
+  cfg.budgets.aw_rdy_w_vld = 20;
+  cfg.budgets.w_vld_w_rdy = 11;
+  cfg.budgets.w_first_w_last = 30;
+  cfg.budgets.w_last_b_vld = 21;
+  cfg.budgets.b_vld_b_rdy = 12;
+  cfg.budgets.ar_vld_ar_rdy = 13;
+  cfg.budgets.ar_rdy_r_vld = 22;
+  cfg.budgets.r_vld_r_rdy = 14;
+  cfg.budgets.r_vld_r_last = 31;
+  cfg.tc_total_budget = 100;
+  cfg.adaptive.enabled = false;
+  cfg.adaptive.cycles_per_beat = 2;
+  cfg.adaptive.cycles_per_ahead = 8;
+  return cfg;
+}
+
+TEST(Budget, StaticWriteBudgetsMatchConfig) {
+  const TmuConfig cfg = base_cfg();
+  BudgetPolicy p(cfg);
+  const auto b = p.write_budgets(/*len=*/7, /*ahead=*/3);
+  EXPECT_EQ(b[0], 10u);
+  EXPECT_EQ(b[1], 20u);
+  EXPECT_EQ(b[2], 11u);
+  EXPECT_EQ(b[3], 30u);
+  EXPECT_EQ(b[4], 21u);
+  EXPECT_EQ(b[5], 12u);
+}
+
+TEST(Budget, StaticReadBudgetsMatchConfig) {
+  const TmuConfig cfg = base_cfg();
+  BudgetPolicy p(cfg);
+  const auto b = p.read_budgets(0, 0);
+  EXPECT_EQ(b[0], 13u);
+  EXPECT_EQ(b[1], 22u);
+  EXPECT_EQ(b[2], 14u);
+  EXPECT_EQ(b[3], 31u);
+}
+
+TEST(Budget, AdaptiveScalesDataPhaseWithBurstLength) {
+  TmuConfig cfg = base_cfg();
+  cfg.adaptive.enabled = true;
+  BudgetPolicy p(cfg);
+  EXPECT_EQ(p.write_budgets(0, 0)[3], 30u);
+  EXPECT_EQ(p.write_budgets(10, 0)[3], 30u + 2 * 10);
+  EXPECT_EQ(p.read_budgets(255, 0)[3], 31u + 2 * 255);
+}
+
+TEST(Budget, AdaptiveScalesQueueWaitWithOutstanding) {
+  TmuConfig cfg = base_cfg();
+  cfg.adaptive.enabled = true;
+  BudgetPolicy p(cfg);
+  EXPECT_EQ(p.write_budgets(0, 0)[1], 20u);
+  EXPECT_EQ(p.write_budgets(0, 5)[1], 20u + 8 * 5);
+  EXPECT_EQ(p.read_budgets(0, 4)[1], 22u + 8 * 4);
+}
+
+TEST(Budget, TcTotalStaticAndAdaptive) {
+  TmuConfig cfg = base_cfg();
+  BudgetPolicy p(cfg);
+  EXPECT_EQ(p.tc_total(50, 9), 100u);  // adaptive off: fixed
+  cfg.adaptive.enabled = true;
+  BudgetPolicy q(cfg);
+  EXPECT_EQ(q.tc_total(50, 9), 100u + 2 * 50 + 8 * 9);
+}
+
+TEST(Budget, AdaptiveNeverShrinksBudgets) {
+  TmuConfig cfg = base_cfg();
+  cfg.adaptive.enabled = true;
+  BudgetPolicy p(cfg);
+  const auto base = p.write_budgets(0, 0);
+  for (int len : {1, 15, 255}) {
+    for (int ahead : {1, 7, 31}) {
+      const auto b = p.write_budgets(static_cast<std::uint8_t>(len),
+                                     static_cast<std::uint32_t>(ahead));
+      for (unsigned i = 0; i < tmu::kNumWritePhases; ++i) {
+        EXPECT_GE(b[i], base[i]);
+      }
+    }
+  }
+}
+
+TEST(Config, MaxOutstandingIsProduct) {
+  TmuConfig cfg;
+  cfg.max_uniq_ids = 4;
+  cfg.txn_per_uniq_id = 32;
+  EXPECT_EQ(cfg.max_outstanding(), 128u);
+}
+
+TEST(Config, PhaseNames) {
+  EXPECT_STREQ(to_string(tmu::WritePhase::kAwVldAwRdy), "AWVLD_AWRDY");
+  EXPECT_STREQ(to_string(tmu::WritePhase::kWFirstWLast), "WFIRST_WLAST");
+  EXPECT_STREQ(to_string(tmu::ReadPhase::kRVldRLast), "RVLD_RLAST");
+  EXPECT_STREQ(to_string(tmu::Variant::kTinyCounter), "Tc");
+  EXPECT_STREQ(to_string(tmu::Variant::kFullCounter), "Fc");
+}
+
+}  // namespace

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "tmu/counter.hpp"
+
+namespace {
+
+using tmu::Prescaler;
+using tmu::PrescaledCounter;
+
+TEST(Prescaler, StepOnePulsesEveryCycle) {
+  Prescaler p(1);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(p.tick());
+}
+
+TEST(Prescaler, StepNPulsesEveryNth) {
+  Prescaler p(4);
+  int pulses = 0;
+  for (int i = 0; i < 40; ++i) {
+    if (p.tick()) ++pulses;
+  }
+  EXPECT_EQ(pulses, 10);
+}
+
+TEST(Prescaler, ZeroStepClampedToOne) {
+  Prescaler p(0);
+  EXPECT_EQ(p.step(), 1u);
+  EXPECT_TRUE(p.tick());
+}
+
+TEST(PrescaledCounter, ExpiresExactlyAtBudget) {
+  PrescaledCounter c;
+  c.arm(10, 1, false);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_FALSE(c.pulse()) << "pulse " << i;
+  }
+  EXPECT_TRUE(c.pulse());
+  EXPECT_TRUE(c.expired());
+}
+
+TEST(PrescaledCounter, PrescaledLimitIsConservative) {
+  // floor(budget/step) + 1: never fires before the budget even when the
+  // free-running prescaler is maximally misaligned; minimum 2 pulses.
+  PrescaledCounter c;
+  c.arm(100, 32, false);
+  EXPECT_EQ(c.limit(), 4u);
+  c.arm(96, 32, false);
+  EXPECT_EQ(c.limit(), 4u);
+  c.arm(1, 32, false);
+  EXPECT_EQ(c.limit(), 2u);
+  c.arm(256, 1, false);
+  EXPECT_EQ(c.limit(), 256u);
+}
+
+TEST(PrescaledCounter, StopPreventsExpiry) {
+  PrescaledCounter c;
+  c.arm(3, 1, false);
+  c.pulse();
+  c.stop();
+  EXPECT_FALSE(c.pulse());
+  EXPECT_FALSE(c.expired());
+  EXPECT_FALSE(c.running());
+}
+
+TEST(PrescaledCounter, StickyLatchesNearTimeout) {
+  PrescaledCounter c;
+  c.arm(4, 1, true);
+  c.pulse();  // 1
+  c.pulse();  // 2
+  EXPECT_FALSE(c.sticky());
+  c.pulse();  // 3 -> near timeout observed (value+1 >= limit)
+  EXPECT_TRUE(c.sticky());
+  EXPECT_FALSE(c.expired());  // recorded, but never fires early
+  c.pulse();  // 4 -> the budget itself
+  EXPECT_TRUE(c.expired());
+}
+
+TEST(PrescaledCounter, NoStickyWithoutEnable) {
+  PrescaledCounter c;
+  c.arm(4, 1, false);
+  c.pulse();
+  c.pulse();
+  c.pulse();
+  EXPECT_FALSE(c.sticky());
+}
+
+TEST(PrescaledCounter, RearmResetsValueAndSticky) {
+  PrescaledCounter c;
+  c.arm(2, 1, true);
+  c.pulse();
+  c.pulse();
+  EXPECT_TRUE(c.expired());
+  c.arm(5, 1, true);
+  EXPECT_FALSE(c.expired());
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_FALSE(c.sticky());
+}
+
+// Property: for any (budget, step), a counter armed in phase with a
+// fresh prescaler never expires before the budget and at most two
+// prescaler periods after it (conservative limit + alignment).
+class CounterSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CounterSweep, ExpiryNeverEarlyAtMostTwoPeriodsLate) {
+  const auto [budget, step] = GetParam();
+  tmu::Prescaler pre(step);
+  PrescaledCounter c;
+  c.arm(budget, step, false);
+  int cycles = 0;
+  while (!c.expired() && cycles < budget + 2 * step + 2) {
+    ++cycles;
+    if (pre.tick()) c.pulse();
+  }
+  EXPECT_TRUE(c.expired());
+  EXPECT_GE(cycles, budget);
+  EXPECT_LE(cycles, budget + 2 * step);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BudgetStep, CounterSweep,
+    ::testing::Combine(::testing::Values(1, 10, 100, 256, 320),
+                       ::testing::Values(1, 2, 8, 32, 128)));
+
+}  // namespace

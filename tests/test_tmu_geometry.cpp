@@ -1,0 +1,97 @@
+// Table I parameter sweep: every (MaxUniqIDs, TxnPerUniqID, Variant,
+// prescaler) combination must (a) run healthy random traffic without
+// false faults and without dropping transactions, and (b) still catch
+// an injected stall.
+
+#include <gtest/gtest.h>
+
+#include "axi/link.hpp"
+#include "axi/memory.hpp"
+#include "axi/traffic_gen.hpp"
+#include "fault/injector.hpp"
+#include "sim/kernel.hpp"
+#include "soc/reset_unit.hpp"
+#include "tmu/tmu.hpp"
+
+namespace {
+
+using namespace axi;
+using fault::FaultPoint;
+using tmu::Variant;
+
+struct GeomCase {
+  std::uint32_t ids;
+  std::uint32_t per_id;
+  int variant;       // 0 = Tc, 1 = Fc
+  std::uint32_t prescaler;
+};
+
+class GeometrySweep : public ::testing::TestWithParam<GeomCase> {};
+
+TEST_P(GeometrySweep, HealthySoakThenInjectedStall) {
+  const GeomCase g = GetParam();
+  tmu::TmuConfig cfg;
+  cfg.variant = g.variant ? Variant::kFullCounter : Variant::kTinyCounter;
+  cfg.max_uniq_ids = g.ids;
+  cfg.txn_per_uniq_id = g.per_id;
+  cfg.prescaler_step = g.prescaler;
+  cfg.sticky_bit = g.prescaler > 1;
+  cfg.tc_total_budget = 300;
+  cfg.adaptive.enabled = true;
+  cfg.adaptive.cycles_per_beat = 3;
+  cfg.adaptive.cycles_per_ahead = 6;
+
+  Link l_gen, l_tmu_sub, l_mem;
+  TrafficGenerator gen("gen", l_gen, 7 + g.ids * 13 + g.per_id);
+  tmu::Tmu monitor("tmu", l_gen, l_tmu_sub, cfg);
+  fault::FaultInjector inj("inj", l_tmu_sub, l_mem);
+  MemorySubordinate mem("mem", l_mem);
+  soc::ResetUnit rst("rst", monitor.reset_req, monitor.reset_ack,
+                     [&] { mem.hw_reset(); });
+  sim::Simulator s;
+  s.add(gen);
+  s.add(monitor);
+  s.add(inj);
+  s.add(mem);
+  s.add(rst);
+  s.reset();
+
+  RandomTrafficConfig rc;
+  rc.enabled = true;
+  rc.p_new_txn = 0.3;
+  rc.max_outstanding = std::min<std::uint32_t>(8, cfg.max_outstanding());
+  rc.id_max = 2 * g.ids;  // more live IDs than remapper slots
+  rc.len_max = 7;
+  gen.set_random(rc);
+
+  // (a) healthy soak.
+  s.run(6000);
+  ASSERT_FALSE(monitor.any_fault())
+      << monitor.fault_log().front().describe();
+  EXPECT_GT(gen.completed(), 100u);
+  EXPECT_EQ(gen.data_mismatches(), 0u);
+  EXPECT_EQ(gen.error_responses(), 0u);
+
+  // (b) injected stall is still caught.
+  inj.arm(FaultPoint::kBValidStuck);
+  EXPECT_TRUE(s.run_until([&] { return monitor.any_fault(); }, 4000));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableI, GeometrySweep,
+    ::testing::Values(GeomCase{1, 1, 1, 1},    // minimal Fc
+                      GeomCase{1, 8, 0, 1},    // single-ID deep Tc
+                      GeomCase{4, 4, 1, 1},    // paper default Fc
+                      GeomCase{4, 4, 0, 1},    // paper default Tc
+                      GeomCase{4, 8, 1, 32},   // prescaled Fc
+                      GeomCase{4, 32, 0, 32},  // 128-outstanding Tc + pre
+                      GeomCase{8, 2, 1, 1},    // wide-ID Fc
+                      GeomCase{2, 2, 0, 8}),   // small prescaled Tc
+    [](const ::testing::TestParamInfo<GeomCase>& info) {
+      const GeomCase& g = info.param;
+      return std::string(g.variant ? "Fc" : "Tc") + "_ids" +
+             std::to_string(g.ids) + "x" + std::to_string(g.per_id) +
+             "_pre" + std::to_string(g.prescaler);
+    });
+
+}  // namespace

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "tmu/ott.hpp"
+
+namespace {
+
+using tmu::Ott;
+
+TEST(Ott, EnqueueDequeueSingleId) {
+  Ott ott(4, 4);
+  const int a = ott.enqueue(0, 10, 0x100, 3, 5);
+  const int b = ott.enqueue(0, 10, 0x200, 0, 6);
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+  EXPECT_EQ(ott.occupancy(), 2u);
+  EXPECT_EQ(ott.head_of(0), a);  // FIFO: oldest first
+  ott.dequeue(0);
+  EXPECT_EQ(ott.head_of(0), b);
+  ott.dequeue(0);
+  EXPECT_EQ(ott.head_of(0), -1);
+  EXPECT_EQ(ott.occupancy(), 0u);
+}
+
+TEST(Ott, PerIdFifosAreIndependent) {
+  Ott ott(2, 2);
+  const int a0 = ott.enqueue(0, 1, 0x0, 0, 0);
+  const int b0 = ott.enqueue(1, 2, 0x10, 0, 1);
+  const int a1 = ott.enqueue(0, 1, 0x20, 0, 2);
+  ASSERT_GE(a0, 0);
+  ASSERT_GE(b0, 0);
+  ASSERT_GE(a1, 0);
+  EXPECT_EQ(ott.head_of(0), a0);
+  EXPECT_EQ(ott.head_of(1), b0);
+  ott.dequeue(0);
+  EXPECT_EQ(ott.head_of(0), a1);
+  EXPECT_EQ(ott.head_of(1), b0);
+}
+
+TEST(Ott, PerIdCapacityEnforced) {
+  Ott ott(2, 2);
+  ASSERT_GE(ott.enqueue(0, 1, 0, 0, 0), 0);
+  ASSERT_GE(ott.enqueue(0, 1, 0, 0, 0), 0);
+  EXPECT_TRUE(ott.id_full(0));
+  EXPECT_EQ(ott.enqueue(0, 1, 0, 0, 0), -1);  // per-ID cap
+  EXPECT_GE(ott.enqueue(1, 2, 0, 0, 0), 0);   // other ID fine
+}
+
+TEST(Ott, TotalCapacityEnforced) {
+  Ott ott(2, 2);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_GE(ott.enqueue(i % 2, i, 0, 0, 0), 0);
+  }
+  EXPECT_TRUE(ott.full());
+  EXPECT_EQ(ott.capacity(), 4u);
+}
+
+TEST(Ott, EiTableKeepsEnqueueOrder) {
+  Ott ott(4, 4);
+  const int a = ott.enqueue(2, 1, 0, 0, 0);
+  const int b = ott.enqueue(0, 2, 0, 0, 1);
+  const int c = ott.enqueue(2, 1, 0, 0, 2);
+  const auto& order = ott.order();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], a);
+  EXPECT_EQ(order[1], b);
+  EXPECT_EQ(order[2], c);
+}
+
+TEST(Ott, AheadOfCountsOlderEntries) {
+  Ott ott(4, 4);
+  const int a = ott.enqueue(0, 1, 0, 0, 0);
+  const int b = ott.enqueue(1, 2, 0, 0, 1);
+  const int c = ott.enqueue(2, 3, 0, 0, 2);
+  EXPECT_EQ(ott.ahead_of(a), 0u);
+  EXPECT_EQ(ott.ahead_of(b), 1u);
+  EXPECT_EQ(ott.ahead_of(c), 2u);
+}
+
+TEST(Ott, DequeueMiddleIdRemovesFromEi) {
+  Ott ott(4, 4);
+  ott.enqueue(0, 1, 0, 0, 0);
+  const int b = ott.enqueue(1, 2, 0, 0, 1);
+  ott.enqueue(0, 1, 0, 0, 2);
+  ott.dequeue(1);
+  for (int idx : ott.order()) EXPECT_NE(idx, b);
+  EXPECT_EQ(ott.occupancy(), 2u);
+}
+
+TEST(Ott, FreedSlotsAreReused) {
+  Ott ott(1, 2);
+  const int a = ott.enqueue(0, 1, 0, 0, 0);
+  ott.dequeue(0);
+  const int b = ott.enqueue(0, 1, 0, 0, 1);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Ott, ClearEmptiesEverything) {
+  Ott ott(2, 2);
+  ott.enqueue(0, 1, 0, 0, 0);
+  ott.enqueue(1, 2, 0, 0, 1);
+  ott.clear();
+  EXPECT_EQ(ott.occupancy(), 0u);
+  EXPECT_TRUE(ott.order().empty());
+  EXPECT_EQ(ott.head_of(0), -1);
+  EXPECT_EQ(ott.head_of(1), -1);
+}
+
+TEST(Ott, EntryMetadataStored) {
+  Ott ott(2, 2);
+  const int a = ott.enqueue(1, 0xBEEF, 0xCAFE, 7, 42);
+  const tmu::LdEntry& e = ott.at(a);
+  EXPECT_EQ(e.tid, 1);
+  EXPECT_EQ(e.orig_id, 0xBEEFu);
+  EXPECT_EQ(e.addr, 0xCAFEu);
+  EXPECT_EQ(e.len, 7);
+  EXPECT_EQ(e.enq_cycle, 42u);
+  EXPECT_TRUE(e.valid);
+}
+
+// Property: fill/drain loops never leak capacity, any geometry.
+class OttGeometry
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(OttGeometry, FillDrainPreservesCapacity) {
+  const auto [ids, per_id] = GetParam();
+  Ott ott(ids, per_id);
+  for (int round = 0; round < 3; ++round) {
+    int enqueued = 0;
+    for (int t = 0; t < ids; ++t) {
+      for (int k = 0; k < per_id; ++k) {
+        if (ott.enqueue(t, t, 0, 0, 0) >= 0) ++enqueued;
+      }
+    }
+    EXPECT_EQ(enqueued, ids * per_id);
+    EXPECT_TRUE(ott.full());
+    for (int t = 0; t < ids; ++t) {
+      while (ott.head_of(t) >= 0) ott.dequeue(t);
+    }
+    EXPECT_EQ(ott.occupancy(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, OttGeometry,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                                            ::testing::Values(1, 2, 8, 32)));
+
+}  // namespace
