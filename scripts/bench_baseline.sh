@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Runs bench_sim_throughput and records the result as the committed
+# baseline under bench/baselines/. Usage: scripts/bench_baseline.sh [out.json]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+out="${1:-bench/baselines/BENCH_sim_throughput.json}"
+mkdir -p "$(dirname "$out")"
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j --target bench_sim_throughput
+
+./build/bench_sim_throughput \
+  --benchmark_out="$out" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true
+
+echo
+echo "Baseline recorded at $out"

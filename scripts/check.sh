@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 verify gate: configure + build + ctest + one throughput bench run.
+# Usage: scripts/check.sh [--no-bench]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+run_bench=1
+if [[ $# -gt 0 ]]; then
+  case "$1" in
+    --no-bench) run_bench=0 ;;
+    *)
+      echo "usage: scripts/check.sh [--no-bench]" >&2
+      exit 2
+      ;;
+  esac
+fi
+
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [[ "$run_bench" == 1 ]]; then
+  ./build/bench_sim_throughput \
+    --benchmark_out=build/sim_throughput.bench.json \
+    --benchmark_out_format=json
+  echo
+  echo "Bench JSON written to build/sim_throughput.bench.json"
+  echo "Committed baseline: bench/baselines/BENCH_sim_throughput.json"
+fi
+
+echo "check.sh: all green"

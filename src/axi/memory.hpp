@@ -42,7 +42,10 @@ class MemorySubordinate : public sim::Module {
     auto it = mem_.find(a);
     return it == mem_.end() ? 0 : it->second;
   }
-  void poke(Addr a, std::uint8_t v) { mem_[a] = v; }
+  void poke(Addr a, std::uint8_t v) {
+    mem_[a] = v;
+    sim::notify_state_change();
+  }
   std::uint64_t peek_beat(Addr a, std::uint8_t size) const;
 
   std::size_t writes_done() const { return writes_done_; }
@@ -50,7 +53,10 @@ class MemorySubordinate : public sim::Module {
 
   /// External hardware reset input (from a reset unit): clears all
   /// in-flight state, keeps storage.
-  void hw_reset() { clear_inflight_ = true; }
+  void hw_reset() {
+    clear_inflight_ = true;
+    sim::notify_state_change();
+  }
 
   const MemoryConfig& config() const { return cfg_; }
 

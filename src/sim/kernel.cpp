@@ -7,26 +7,39 @@ namespace sim {
 void Simulator::reset() {
   for (Module* m : modules_) m->reset();
   cycle_ = 0;
+  settled_ = false;  // reset() mutates register state behind the epoch's back
   settle();
 }
 
 void Simulator::settle() {
+  // Fast path: converged before, and no Wire changed value since (any
+  // write that changes a value — including force() — bumps the global
+  // epoch). eval() is idempotent by contract, so re-running it would
+  // change nothing; skipping is exact.
+  if (settled_ && change_epoch() == settled_epoch_) return;
   for (int iter = 0; iter < kMaxDeltaIterations; ++iter) {
     const std::uint64_t epoch_before = change_epoch();
     for (Module* m : modules_) m->eval();
-    if (change_epoch() == epoch_before) return;
+    ++eval_passes_;
+    if (change_epoch() == epoch_before) {
+      settled_ = true;
+      settled_epoch_ = epoch_before;
+      return;
+    }
   }
   throw ConvergenceError(
       "combinational logic failed to settle; likely a combinational loop");
 }
 
 void Simulator::step() {
-  settle();
+  settle();  // free when the previous step() left the netlist settled
   for (auto& cb : cycle_callbacks_) cb(cycle_);
   for (Module* m : modules_) m->tick();
+  settled_ = false;  // tick() mutates register state behind the epoch's back
   ++cycle_;
   // Post-edge settle so callers observing wires after step() (tests,
-  // probes) see outputs consistent with the new register state.
+  // probes) see outputs consistent with the new register state. This is
+  // the single full eval convergence for the cycle.
   settle();
 }
 

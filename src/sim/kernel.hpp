@@ -20,12 +20,21 @@ class ConvergenceError : public std::runtime_error {
 ///
 /// Per cycle: eval() every module repeatedly until no Wire changes
 /// (bounded by kMaxDeltaIterations), then tick() every module once.
+///
+/// The kernel caches the settled state: settle() on a netlist that has
+/// already converged — and whose wires are untouched since, tracked via
+/// the global Wire write epoch — is a no-op. This makes the leading
+/// settle in step()/run_until() free, so a full run performs exactly one
+/// eval convergence per cycle (the post-edge settle).
 class Simulator {
  public:
   static constexpr int kMaxDeltaIterations = 64;
 
   /// Registers a module (non-owning; the caller keeps ownership).
-  void add(Module& m) { modules_.push_back(&m); }
+  void add(Module& m) {
+    modules_.push_back(&m);
+    settled_ = false;
+  }
 
   /// Registers a callback run after every settled cycle (tracing, probes).
   void on_cycle(std::function<void(std::uint64_t)> cb) {
@@ -35,7 +44,8 @@ class Simulator {
   /// Synchronously resets all modules and the cycle counter.
   void reset();
 
-  /// Settles combinational logic without advancing the clock.
+  /// Settles combinational logic without advancing the clock. No-op if
+  /// the netlist is already settled and no wire changed since.
   void settle();
 
   /// Advances one clock cycle: settle, callbacks, then tick.
@@ -50,10 +60,21 @@ class Simulator {
 
   std::uint64_t cycle() const { return cycle_; }
 
+  /// Total full eval passes over all modules since construction.
+  std::uint64_t eval_passes() const { return eval_passes_; }
+
+  /// Discards the cached settled state; the next settle() re-evaluates.
+  /// Needed only when module-internal state changes outside tick()/reset()
+  /// (wire writes are tracked automatically via the write epoch).
+  void invalidate_settle() { settled_ = false; }
+
  private:
   std::vector<Module*> modules_;
   std::vector<std::function<void(std::uint64_t)>> cycle_callbacks_;
   std::uint64_t cycle_ = 0;
+  std::uint64_t eval_passes_ = 0;
+  std::uint64_t settled_epoch_ = 0;
+  bool settled_ = false;
 };
 
 }  // namespace sim

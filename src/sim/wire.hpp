@@ -15,6 +15,13 @@ inline std::uint64_t g_change_epoch = 0;
 /// Returns the current global change epoch (see detail::g_change_epoch).
 inline std::uint64_t change_epoch() { return detail::g_change_epoch; }
 
+/// Marks eval-relevant module state as changed outside tick()/reset() —
+/// e.g. a testbench calling arm()/set_*() between cycles. Bumps the
+/// epoch so every Simulator's settled-state cache misses and the next
+/// settle() re-evaluates. Wire writes are tracked automatically; this is
+/// only for state the wires can't see.
+inline void notify_state_change() { ++detail::g_change_epoch; }
+
 /// A combinational signal. Modules read inputs and write outputs through
 /// wires during eval(); the kernel repeats eval passes until no wire
 /// changes. T must be equality-comparable and cheap to copy.

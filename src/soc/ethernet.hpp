@@ -43,7 +43,10 @@ class EthernetPeripheral : public sim::Module {
 
   /// External hardware reset (from the reset unit): clears FIFOs and all
   /// in-flight transaction state; counters survive (MMIO-visible).
-  void hw_reset() { clear_pending_ = true; }
+  void hw_reset() {
+    clear_pending_ = true;
+    sim::notify_state_change();
+  }
 
   std::uint64_t frames_txed() const { return beats_drained_; }
   std::size_t tx_fifo_level() const { return tx_fifo_.size(); }

@@ -32,7 +32,10 @@ class IdmaEngine : public sim::Module {
         max_burst_(max_burst ? max_burst : 1), id_(id) {}
 
   void submit(const DmaDescriptor& d) {
-    if (d.beats > 0) queue_.push_back(d);
+    if (d.beats > 0) {
+      queue_.push_back(d);
+      sim::notify_state_change();
+    }
   }
 
   bool busy() const { return state_ != State::kIdle || !queue_.empty(); }

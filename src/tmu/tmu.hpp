@@ -65,7 +65,10 @@ class Tmu : public sim::Module {
 
   /// Clears the level interrupt. Takes effect immediately, like the
   /// register write a recovery handler performs.
-  void clear_irq() { irq_latched_ = false; }
+  void clear_irq() {
+    irq_latched_ = false;
+    sim::notify_state_change();
+  }
 
   // ---- software register file (§II-A) ----
   /// 32-bit register read/write at a byte offset; see regs.cpp for the

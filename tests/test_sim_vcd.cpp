@@ -95,7 +95,9 @@ TEST(Vcd, ManyProbesGetDistinctCodes) {
     sim::VcdWriter vcd(path);
     std::uint64_t v = 1;
     for (int i = 0; i < 100; ++i) {
-      vcd.probe("p" + std::to_string(i), 4, [&] { return v; });
+      std::string name = "p";
+      name += std::to_string(i);
+      vcd.probe(name, 4, [&] { return v; });
     }
     vcd.sample(0);
     vcd.flush();
