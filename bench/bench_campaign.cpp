@@ -1,26 +1,30 @@
 // Randomized fault-injection campaign (extends Fig. 9 per §III-A.3:
 // "We validated fault detection and latency by injecting random
-// failures at key AXI transaction stages"). For every fault point and
-// both variants: many trials with random injection delay under random
-// background traffic; reports detection coverage and latency spread.
+// failures at key AXI transaction stages"), run through the parallel
+// campaign::Engine: for every fault point and both variants, 200 trials
+// with random injection delay under random background traffic, sharded
+// across hardware threads. Reports detection coverage and latency
+// spread, the serial-vs-parallel speedup, and writes the deterministic
+// JSON report under build/campaign_fig9.json.
 
 #include <benchmark/benchmark.h>
 
-#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "campaign/campaign.hpp"
 #include "sim/logger.hpp"
-#include "sim/random.hpp"
-#include "sim/stats.hpp"
 
 using fault::FaultPoint;
 using tmu::Variant;
 
 namespace {
 
-constexpr int kTrials = 25;
+constexpr int kTrials = 200;  // per (variant, fault point) pair
 
 tmu::TmuConfig campaign_cfg(Variant v) {
   tmu::TmuConfig cfg;
@@ -32,34 +36,6 @@ tmu::TmuConfig campaign_cfg(Variant v) {
   return cfg;
 }
 
-struct CampaignResult {
-  int detected = 0;
-  sim::RunningStats latency;  ///< fault onset -> detection
-};
-
-CampaignResult run_campaign(Variant v, FaultPoint point) {
-  CampaignResult res;
-  for (int trial = 0; trial < kTrials; ++trial) {
-    bench::IpBench b(campaign_cfg(v));
-    axi::RandomTrafficConfig rc;
-    rc.enabled = true;
-    rc.p_new_txn = 0.25;
-    rc.max_outstanding = 6;
-    rc.len_max = 7;
-    b.gen.set_random(rc);
-    sim::Rng rng(4242 + trial);
-    const std::uint64_t delay = rng.range(0, 500);
-    auto& inj = b.injector_for(point);
-    inj.arm(point, delay);
-    if (b.s.run_until([&] { return b.tmu.any_fault(); }, delay + 4000)) {
-      ++res.detected;
-      res.latency.add(static_cast<double>(b.tmu.fault_log().front().cycle -
-                                          inj.fault_start_cycle()));
-    }
-  }
-  return res;
-}
-
 const std::vector<FaultPoint> kPoints = {
     FaultPoint::kAwReadyStuck, FaultPoint::kWValidStuck,
     FaultPoint::kWReadyStuck,  FaultPoint::kBValidStuck,
@@ -67,22 +43,49 @@ const std::vector<FaultPoint> kPoints = {
     FaultPoint::kRValidStuck,  FaultPoint::kRWrongId,
 };
 
-void print_table() {
-  bench::header(
-      "Fault-injection campaign — random delays under random traffic",
-      "extends Fig. 9 (§III-A.3); 25 trials per point per variant; "
-      "latency from fault onset to TMU flag");
-  std::printf("%-18s | %8s %8s %8s %8s | %8s %8s %8s %8s\n", "",
-              "Fc cov", "Fc min", "Fc mean", "Fc max", "Tc cov", "Tc min",
-              "Tc mean", "Tc max");
-  bench::rule(100);
+campaign::TrialSpec proto_spec(Variant v, FaultPoint p) {
+  campaign::TrialSpec spec;
+  spec.cfg = campaign_cfg(v);
+  spec.point = p;
+  spec.traffic.enabled = true;
+  spec.traffic.p_new_txn = 0.25;
+  spec.traffic.max_outstanding = 6;
+  spec.traffic.len_max = 7;
+  spec.inject_delay_max = 500;
+  spec.detect_budget = 4000;
+  return spec;
+}
+
+/// One scenario per (variant, point): index 2i is Fc, 2i+1 is Tc.
+std::vector<campaign::Scenario> build_scenarios(int trials) {
+  std::vector<campaign::Scenario> sc;
   for (FaultPoint p : kPoints) {
-    const CampaignResult fc = run_campaign(Variant::kFullCounter, p);
-    const CampaignResult tc = run_campaign(Variant::kTinyCounter, p);
+    sc.push_back(campaign::make_scenario(
+        std::string("fc/") + to_string(p),
+        proto_spec(Variant::kFullCounter, p),
+        static_cast<std::size_t>(trials)));
+    sc.push_back(campaign::make_scenario(
+        std::string("tc/") + to_string(p),
+        proto_spec(Variant::kTinyCounter, p),
+        static_cast<std::size_t>(trials)));
+  }
+  return sc;
+}
+
+void print_table(const campaign::Report& rep, int trials) {
+  std::printf("%-18s | %8s %8s %8s %8s | %8s %8s %8s %8s\n", "", "Fc cov",
+              "Fc min", "Fc mean", "Fc max", "Tc cov", "Tc min", "Tc mean",
+              "Tc max");
+  bench::rule(100);
+  for (std::size_t i = 0; i < kPoints.size(); ++i) {
+    const campaign::ScenarioSummary& fc = rep.scenarios[2 * i];
+    const campaign::ScenarioSummary& tc = rep.scenarios[2 * i + 1];
     std::printf(
-        "%-18s | %6d/%d %8.0f %8.0f %8.0f | %6d/%d %8.0f %8.0f %8.0f\n",
-        to_string(p), fc.detected, kTrials, fc.latency.min(),
-        fc.latency.mean(), fc.latency.max(), tc.detected, kTrials,
+        "%-18s | %6llu/%d %8.0f %8.0f %8.0f | %6llu/%d %8.0f %8.0f %8.0f\n",
+        to_string(kPoints[i]),
+        static_cast<unsigned long long>(fc.detected), trials,
+        fc.latency.min(), fc.latency.mean(), fc.latency.max(),
+        static_cast<unsigned long long>(tc.detected), trials,
         tc.latency.min(), tc.latency.mean(), tc.latency.max());
   }
   bench::rule(100);
@@ -91,21 +94,84 @@ void print_table() {
               "budget)\n");
 }
 
-void BM_CampaignPoint(benchmark::State& state) {
-  const FaultPoint p = kPoints[static_cast<std::size_t>(state.range(0))];
-  for (auto _ : state) {
-    auto r = run_campaign(Variant::kFullCounter, p);
-    benchmark::DoNotOptimize(r);
+void run_campaign_report() {
+  bench::header(
+      "Fault-injection campaign — random delays under random traffic",
+      "extends Fig. 9 (§III-A.3); 200 trials per point per variant via "
+      "campaign::Engine; latency from fault onset to TMU flag");
+
+  const auto scenarios = build_scenarios(kTrials);
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  campaign::Engine serial({1, 0xC0FFEEull});
+  const campaign::Report serial_rep = serial.run(scenarios);
+
+  campaign::Engine parallel({0, 0xC0FFEEull});  // 0 = hardware concurrency
+  const campaign::Report parallel_rep = parallel.run(scenarios);
+
+  print_table(parallel_rep, kTrials);
+
+  const bool identical = serial_rep.to_json() == parallel_rep.to_json();
+  const double speedup =
+      parallel_rep.wall_seconds > 0.0
+          ? serial_rep.wall_seconds / parallel_rep.wall_seconds
+          : 0.0;
+  std::printf(
+      "\nEngine: %llu trials, %llu simulated cycles; serial %.2fs, "
+      "%u-thread %.2fs -> speedup %.2fx on %u core(s)\n",
+      static_cast<unsigned long long>(parallel_rep.total_trials()),
+      static_cast<unsigned long long>(parallel_rep.total_cycles()),
+      serial_rep.wall_seconds, parallel_rep.threads_used,
+      parallel_rep.wall_seconds, speedup, hw);
+  std::printf("Report determinism (1 thread vs %u threads): %s\n",
+              parallel_rep.threads_used,
+              identical ? "byte-identical" : "MISMATCH");
+  if (hw >= 4 && speedup < 2.0) {
+    std::printf("WARNING: expected >= 2x speedup on >= 4 cores\n");
   }
-  state.SetLabel(to_string(p));
+
+  const char* primary = "build/campaign_fig9.json";
+  if (parallel_rep.write_json(primary)) {
+    std::printf("Deterministic report written to %s\n", primary);
+  } else if (parallel_rep.write_json("campaign_fig9.json")) {
+    std::printf("Deterministic report written to ./campaign_fig9.json\n");
+  }
 }
-BENCHMARK(BM_CampaignPoint)->Arg(0)->Arg(3)->Unit(benchmark::kMillisecond);
+
+/// Google-benchmark entries: a fixed slice of the campaign at 1 thread
+/// vs hardware threads; the committed baseline records trials/s of both
+/// (bench/baselines/BENCH_campaign.json).
+constexpr int kBenchTrials = 25;
+
+void run_engine_bench(benchmark::State& state, unsigned threads) {
+  const auto scenarios = build_scenarios(kBenchTrials);
+  std::uint64_t trials = 0;
+  for (auto _ : state) {
+    campaign::Engine eng({threads, 0xC0FFEEull});
+    const campaign::Report rep = eng.run(scenarios);
+    trials += rep.total_trials();
+    benchmark::DoNotOptimize(rep);
+  }
+  state.counters["trials_per_s"] = benchmark::Counter(
+      static_cast<double>(trials), benchmark::Counter::kIsRate);
+}
+
+void BM_EngineSerial(benchmark::State& state) { run_engine_bench(state, 1); }
+void BM_EngineParallel(benchmark::State& state) { run_engine_bench(state, 0); }
+BENCHMARK(BM_EngineSerial)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EngineParallel)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
 int main(int argc, char** argv) {
   sim::global_log_level() = sim::LogLevel::kOff;
-  print_table();
+  // The full 200-trial report (plus its serial reference run) is the
+  // default surface; TMU_CAMPAIGN_REPORT=0 skips it so baseline
+  // recording pays only for the registered benchmarks.
+  const char* report_env = std::getenv("TMU_CAMPAIGN_REPORT");
+  if (report_env == nullptr || std::string(report_env) != "0") {
+    run_campaign_report();
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

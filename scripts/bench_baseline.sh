@@ -1,16 +1,18 @@
 #!/usr/bin/env bash
-# Runs bench_sim_throughput and records the result as the committed
-# baseline under bench/baselines/. Usage: scripts/bench_baseline.sh [out.json]
+# Runs bench_sim_throughput and bench_campaign and records the results
+# as the committed baselines under bench/baselines/.
+# Usage: scripts/bench_baseline.sh [throughput_out.json] [campaign_out.json]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$repo_root"
 
 out="${1:-bench/baselines/BENCH_sim_throughput.json}"
-mkdir -p "$(dirname "$out")"
+campaign_out="${2:-bench/baselines/BENCH_campaign.json}"
+mkdir -p "$(dirname "$out")" "$(dirname "$campaign_out")"
 
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build -j --target bench_sim_throughput
+cmake --build build -j --target bench_sim_throughput bench_campaign
 
 ./build/bench_sim_throughput \
   --benchmark_out="$out" \
@@ -18,5 +20,15 @@ cmake --build build -j --target bench_sim_throughput
   --benchmark_repetitions=3 \
   --benchmark_report_aggregates_only=true
 
+# Serial-vs-parallel engine throughput (BM_EngineSerial / BM_EngineParallel
+# trials_per_s counters record the speedup). TMU_CAMPAIGN_REPORT=0 skips
+# the 200-trial report preamble — the registered benchmarks are the
+# baseline payload; run ./build/bench_campaign directly for the report.
+TMU_CAMPAIGN_REPORT=0 ./build/bench_campaign \
+  --benchmark_out="$campaign_out" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true
+
 echo
-echo "Baseline recorded at $out"
+echo "Baselines recorded at $out and $campaign_out"

@@ -44,7 +44,7 @@ class MemorySubordinate : public sim::Module {
   }
   void poke(Addr a, std::uint8_t v) {
     mem_[a] = v;
-    sim::notify_state_change();
+    notify_state_change();
   }
   std::uint64_t peek_beat(Addr a, std::uint8_t size) const;
 
@@ -55,7 +55,7 @@ class MemorySubordinate : public sim::Module {
   /// in-flight state, keeps storage.
   void hw_reset() {
     clear_inflight_ = true;
-    sim::notify_state_change();
+    notify_state_change();
   }
 
   const MemoryConfig& config() const { return cfg_; }

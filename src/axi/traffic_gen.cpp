@@ -18,7 +18,7 @@ void TrafficGenerator::push(const TxnDesc& d) {
   } else {
     ar_queue_.push_back(p);
   }
-  sim::notify_state_change();
+  notify_state_change();
 }
 
 void TrafficGenerator::maybe_spawn_random() {

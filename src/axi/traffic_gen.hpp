@@ -69,33 +69,33 @@ class TrafficGenerator : public sim::Module {
 
   void set_random(const RandomTrafficConfig& cfg) {
     random_ = cfg;
-    sim::notify_state_change();
+    notify_state_change();
   }
 
   /// Extra idle cycles inserted between W beats (0 = full rate).
   void set_w_gap(std::uint32_t gap) {
     w_gap_ = gap;
-    sim::notify_state_change();
+    notify_state_change();
   }
   /// Cycles b_valid is observed before b_ready asserts (0 = always ready).
   void set_b_ready_delay(std::uint32_t d) {
     b_ready_delay_ = d;
-    sim::notify_state_change();
+    notify_state_change();
   }
   /// Cycles r_valid is observed before r_ready asserts (0 = always ready).
   void set_r_ready_delay(std::uint32_t d) {
     r_ready_delay_ = d;
-    sim::notify_state_change();
+    notify_state_change();
   }
   /// Delay between AW accept and first W valid.
   void set_w_start_delay(std::uint32_t d) {
     w_start_delay_ = d;
-    sim::notify_state_change();
+    notify_state_change();
   }
   /// Caps simultaneously outstanding transactions (issue side).
   void set_max_outstanding(std::uint32_t n) {
     max_outstanding_ = n;
-    sim::notify_state_change();
+    notify_state_change();
   }
 
   std::size_t completed() const { return records_.size(); }

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "axi/traffic_gen.hpp"
+#include "fault/injector.hpp"
+#include "sim/stats.hpp"
+#include "tmu/config.hpp"
+
+/// Parallel Monte-Carlo fault-campaign engine (§III-A.3: "injecting
+/// random failures at key AXI transaction stages"). A campaign is a list
+/// of scenarios, each holding independent TrialSpecs; the Engine shards
+/// trials across a worker pool and aggregates results deterministically:
+/// a report for a fixed base seed is byte-identical for 1 or N threads.
+///
+/// Parallelism is safe because every trial builds its own netlist and
+/// Simulator, and the kernel's settled-state cache keys off a
+/// per-Simulator change-epoch context (sim/context.hpp) — no shared
+/// mutable state between workers.
+namespace campaign {
+
+/// One independent Monte-Carlo trial. `point == kNone` is a healthy
+/// soak (no fault armed; any flag is a false positive).
+struct TrialSpec {
+  tmu::TmuConfig cfg;
+  fault::FaultPoint point = fault::FaultPoint::kNone;
+  axi::RandomTrafficConfig traffic;
+  /// Per-trial RNG seed; 0 means the Engine derives one from its base
+  /// seed and the trial's global index (deterministic, schedule-free).
+  std::uint64_t seed = 0;
+  std::uint64_t inject_delay_max = 500;  ///< injection delay drawn in [0, max]
+  std::uint64_t detect_budget = 4000;    ///< cycles after injection delay
+  std::uint64_t soak_cycles = 10000;     ///< run length for healthy trials
+  bool exercise_recovery = false;        ///< after detection: disarm, recover
+};
+
+struct TrialResult {
+  bool detected = false;
+  bool recovered = false;        ///< only with exercise_recovery
+  bool traffic_resumed = false;  ///< only with exercise_recovery
+  std::uint64_t inject_delay = 0;
+  std::uint64_t detect_cycle = 0;
+  std::uint64_t latency = 0;  ///< fault onset -> detection
+  std::uint64_t cycles_run = 0;
+  std::uint64_t eval_passes = 0;
+  std::uint64_t completed_txns = 0;
+  std::uint64_t data_mismatches = 0;
+  std::uint64_t error_responses = 0;
+};
+
+using TrialFn = std::function<TrialResult(const TrialSpec&)>;
+
+/// Standard IP-level fault trial: traffic gen -> manager-side injector
+/// -> TMU -> subordinate-side injector -> memory, with the external
+/// reset unit — the Fig. 8/9 testbench. Builds a private netlist, so it
+/// is safe to run on any worker thread.
+TrialResult run_fault_trial(const TrialSpec& spec);
+
+/// A labelled group of trials (e.g. one variant x fault-point pair).
+struct Scenario {
+  std::string label;
+  std::vector<TrialSpec> trials;
+};
+
+/// Convenience: n identical trials under `label` (seeds left 0 so the
+/// Engine derives a distinct deterministic seed per trial).
+Scenario make_scenario(std::string label, const TrialSpec& proto,
+                       std::size_t n);
+
+struct ScenarioSummary {
+  std::string label;
+  std::uint64_t trials = 0;
+  std::uint64_t detected = 0;
+  std::uint64_t recovered = 0;
+  std::uint64_t traffic_resumed = 0;
+  std::uint64_t false_positives = 0;  ///< healthy trials that flagged
+  std::uint64_t total_cycles = 0;
+  std::uint64_t total_eval_passes = 0;
+  sim::RunningStats latency;   ///< detection latency across detected trials
+  sim::Histogram latency_hist;
+};
+
+struct Report {
+  std::uint64_t base_seed = 0;
+  std::vector<ScenarioSummary> scenarios;
+  /// Campaign-wide pooled summary, combined from the per-scenario
+  /// summaries in scenario order via RunningStats::merge /
+  /// Histogram::merge (exact, so still deterministic).
+  ScenarioSummary overall;
+  /// Flat per-trial results in global trial-index order (deterministic).
+  std::vector<TrialResult> results;
+
+  // Environment/timing info — excluded from to_json() so reports are
+  // byte-identical across thread counts and machine speeds.
+  unsigned threads_used = 0;
+  double wall_seconds = 0.0;
+
+  std::uint64_t total_trials() const { return results.size(); }
+  std::uint64_t total_cycles() const;
+
+  /// Deterministic JSON (schema tmu-campaign-report-v1; see README).
+  std::string to_json() const;
+  /// Writes to_json() to `path`; returns false on I/O failure.
+  bool write_json(const std::string& path) const;
+};
+
+struct EngineOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency() (min 1).
+  unsigned threads = 0;
+  /// Base seed for deriving per-trial seeds where TrialSpec.seed == 0.
+  std::uint64_t base_seed = 0xC0FFEEull;
+};
+
+/// Thread-pool-sharded campaign runner. Workers pull trial indices from
+/// a shared atomic cursor (good load balance for variable-length
+/// trials); each result is keyed by its trial index and aggregation runs
+/// serially in index order afterwards, so the Report — including every
+/// floating-point statistic — is bit-identical regardless of thread
+/// count or schedule.
+class Engine {
+ public:
+  explicit Engine(EngineOptions opts = {});
+
+  /// Effective worker count after resolving threads == 0.
+  unsigned threads() const { return threads_; }
+
+  Report run(const std::vector<Scenario>& scenarios,
+             const TrialFn& fn = run_fault_trial) const;
+
+ private:
+  EngineOptions opts_;
+  unsigned threads_;
+};
+
+}  // namespace campaign

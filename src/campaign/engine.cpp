@@ -1,0 +1,244 @@
+#include "campaign/campaign.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+namespace campaign {
+
+namespace {
+
+/// SplitMix64 finalizer: decorrelates (base_seed, trial index) pairs so
+/// neighbouring trials get unrelated RNG streams.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+void append_f(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+/// Minimal JSON string escape (labels are ASCII identifiers in practice).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Scenario make_scenario(std::string label, const TrialSpec& proto,
+                       std::size_t n) {
+  Scenario sc;
+  sc.label = std::move(label);
+  sc.trials.assign(n, proto);
+  return sc;
+}
+
+std::uint64_t Report::total_cycles() const {
+  std::uint64_t t = 0;
+  for (const auto& r : results) t += r.cycles_run;
+  return t;
+}
+
+namespace {
+
+void append_summary_fields(std::string& out, const ScenarioSummary& sc,
+                           const char* indent) {
+  // Label is concatenated, not printf'd: it is caller-supplied and may
+  // exceed the fixed format buffer.
+  append_f(out, "%s\"label\": \"", indent);
+  out += json_escape(sc.label);
+  out += "\",\n";
+  append_f(out, "%s\"trials\": %" PRIu64 ",\n", indent, sc.trials);
+  append_f(out, "%s\"detected\": %" PRIu64 ",\n", indent, sc.detected);
+  append_f(out, "%s\"recovered\": %" PRIu64 ",\n", indent, sc.recovered);
+  append_f(out, "%s\"traffic_resumed\": %" PRIu64 ",\n", indent,
+           sc.traffic_resumed);
+  append_f(out, "%s\"false_positives\": %" PRIu64 ",\n", indent,
+           sc.false_positives);
+  append_f(out, "%s\"total_cycles\": %" PRIu64 ",\n", indent,
+           sc.total_cycles);
+  append_f(out, "%s\"total_eval_passes\": %" PRIu64 ",\n", indent,
+           sc.total_eval_passes);
+  append_f(out, "%s\"latency\": {", indent);
+  append_f(out, "\"count\": %" PRIu64 ", ", sc.latency.count());
+  append_f(out, "\"mean\": %.6f, ", sc.latency.mean());
+  append_f(out, "\"stddev\": %.6f, ", sc.latency.stddev());
+  append_f(out, "\"min\": %.0f, ", sc.latency.min());
+  append_f(out, "\"max\": %.0f, ", sc.latency.max());
+  append_f(out, "\"p50\": %" PRIu64 ", ", sc.latency_hist.percentile(0.50));
+  append_f(out, "\"p99\": %" PRIu64 "}\n", sc.latency_hist.percentile(0.99));
+}
+
+}  // namespace
+
+std::string Report::to_json() const {
+  std::string out;
+  out += "{\n";
+  append_f(out, "  \"schema\": \"tmu-campaign-report-v1\",\n");
+  append_f(out, "  \"base_seed\": %" PRIu64 ",\n", base_seed);
+  append_f(out, "  \"total_trials\": %" PRIu64 ",\n", total_trials());
+  append_f(out, "  \"total_cycles\": %" PRIu64 ",\n", total_cycles());
+  out += "  \"overall\": {\n";
+  append_summary_fields(out, overall, "    ");
+  out += "  },\n";
+  out += "  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    out += "    {\n";
+    append_summary_fields(out, scenarios[i], "      ");
+    out += (i + 1 < scenarios.size()) ? "    },\n" : "    }\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool Report::write_json(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_json();
+  return static_cast<bool>(f);
+}
+
+Engine::Engine(EngineOptions opts) : opts_(opts) {
+  threads_ = opts_.threads != 0 ? opts_.threads
+                                : std::thread::hardware_concurrency();
+  if (threads_ == 0) threads_ = 1;
+}
+
+Report Engine::run(const std::vector<Scenario>& scenarios,
+                   const TrialFn& fn) const {
+  // Flatten scenarios into one global trial list; the global index is
+  // the determinism key (seed derivation + result slot + aggregation
+  // order all depend only on it).
+  std::vector<TrialSpec> specs;
+  std::vector<std::size_t> scenario_of;
+  for (std::size_t si = 0; si < scenarios.size(); ++si) {
+    for (const TrialSpec& t : scenarios[si].trials) {
+      specs.push_back(t);
+      scenario_of.push_back(si);
+    }
+  }
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].seed == 0) {
+      specs[i].seed = mix64(opts_.base_seed ^ mix64(static_cast<std::uint64_t>(i)));
+    }
+  }
+
+  Report rep;
+  rep.base_seed = opts_.base_seed;
+  rep.results.resize(specs.size());
+  rep.threads_used = threads_;
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Work-stealing-free sharding: an atomic cursor hands out trial
+  // indices; results land in their own slots, so no two workers ever
+  // touch the same data and the outcome is schedule-independent.
+  std::atomic<std::size_t> cursor{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= specs.size()) return;
+      try {
+        rep.results[i] = fn(specs[i]);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // Exhaust the cursor so the other workers stop handing out
+        // trials instead of draining the whole campaign first.
+        cursor.store(specs.size(), std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  if (threads_ <= 1) {
+    worker();  // serial path: no thread spawn, same code, same results
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads_);
+    for (unsigned t = 0; t < threads_; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  rep.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // Serial aggregation in trial-index order: floating-point sums are
+  // evaluated in one fixed order regardless of which worker ran what.
+  rep.scenarios.resize(scenarios.size());
+  for (std::size_t si = 0; si < scenarios.size(); ++si) {
+    rep.scenarios[si].label = scenarios[si].label;
+  }
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    ScenarioSummary& sc = rep.scenarios[scenario_of[i]];
+    const TrialResult& r = rep.results[i];
+    ++sc.trials;
+    sc.total_cycles += r.cycles_run;
+    sc.total_eval_passes += r.eval_passes;
+    if (specs[i].point == fault::FaultPoint::kNone) {
+      if (r.detected) ++sc.false_positives;
+      continue;
+    }
+    if (r.detected) {
+      ++sc.detected;
+      sc.latency.add(static_cast<double>(r.latency));
+      sc.latency_hist.add(r.latency);
+    }
+    if (r.recovered) ++sc.recovered;
+    if (r.traffic_resumed) ++sc.traffic_resumed;
+  }
+
+  // Campaign-wide summary: pool the per-scenario shards. merge() is
+  // exact (Chan et al. for the moments, integer adds for the
+  // histogram), and the scenario order is fixed, so this too is
+  // identical across thread counts.
+  rep.overall.label = "overall";
+  for (const ScenarioSummary& sc : rep.scenarios) {
+    rep.overall.trials += sc.trials;
+    rep.overall.detected += sc.detected;
+    rep.overall.recovered += sc.recovered;
+    rep.overall.traffic_resumed += sc.traffic_resumed;
+    rep.overall.false_positives += sc.false_positives;
+    rep.overall.total_cycles += sc.total_cycles;
+    rep.overall.total_eval_passes += sc.total_eval_passes;
+    rep.overall.latency.merge(sc.latency);
+    rep.overall.latency_hist.merge(sc.latency_hist);
+  }
+  return rep;
+}
+
+}  // namespace campaign

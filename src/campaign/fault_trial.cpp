@@ -1,0 +1,70 @@
+#include "campaign/campaign.hpp"
+
+#include "axi/link.hpp"
+#include "axi/memory.hpp"
+#include "sim/kernel.hpp"
+#include "sim/random.hpp"
+#include "soc/reset_unit.hpp"
+#include "tmu/tmu.hpp"
+
+namespace campaign {
+
+TrialResult run_fault_trial(const TrialSpec& spec) {
+  // Private netlist per trial: the Fig. 8/9 IP-level testbench. Nothing
+  // escapes this stack frame, so trials are safe on any worker thread.
+  axi::Link l_gen, l_tmu_mst, l_tmu_sub, l_mem;
+  axi::TrafficGenerator gen("gen", l_gen, spec.seed);
+  fault::FaultInjector inj_m("inj_m", l_gen, l_tmu_mst);
+  tmu::Tmu t("tmu", l_tmu_mst, l_tmu_sub, spec.cfg);
+  fault::FaultInjector inj_s("inj_s", l_tmu_sub, l_mem);
+  axi::MemorySubordinate mem("mem", l_mem);
+  soc::ResetUnit rst("rst", t.reset_req, t.reset_ack, [&] { mem.hw_reset(); });
+  sim::Simulator s;
+  s.add(gen);
+  s.add(inj_m);
+  s.add(t);
+  s.add(inj_s);
+  s.add(mem);
+  s.add(rst);
+  s.reset();
+  gen.set_random(spec.traffic);
+
+  TrialResult r;
+
+  if (spec.point == fault::FaultPoint::kNone) {
+    // Healthy soak: any flag is a false positive.
+    s.run(spec.soak_cycles);
+    r.detected = t.any_fault();
+    if (r.detected) r.detect_cycle = t.fault_log().front().cycle;
+  } else {
+    // Decorrelate the injection-delay draw from the traffic stream.
+    sim::Rng rng(spec.seed ^ 0xD1B54A32D192ED03ull);
+    r.inject_delay =
+        spec.inject_delay_max != 0 ? rng.range(0, spec.inject_delay_max) : 0;
+    fault::FaultInjector& inj =
+        fault::is_manager_side(spec.point) ? inj_m : inj_s;
+    inj.arm(spec.point, r.inject_delay);
+    if (s.run_until([&] { return t.any_fault(); },
+                    r.inject_delay + spec.detect_budget)) {
+      r.detected = true;
+      r.detect_cycle = t.fault_log().front().cycle;
+      r.latency = r.detect_cycle - inj.fault_start_cycle();
+    }
+    if (r.detected && spec.exercise_recovery) {
+      inj.disarm();
+      r.recovered = s.run_until([&] { return t.recoveries() >= 1; }, 2000);
+      const auto before = gen.completed();
+      r.traffic_resumed =
+          s.run_until([&] { return gen.completed() > before; }, 2000);
+    }
+  }
+
+  r.cycles_run = s.cycle();
+  r.eval_passes = s.eval_passes();
+  r.completed_txns = gen.completed();
+  r.data_mismatches = gen.data_mismatches();
+  r.error_responses = gen.error_responses();
+  return r;
+}
+
+}  // namespace campaign

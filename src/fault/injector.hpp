@@ -93,13 +93,13 @@ class FaultInjector : public sim::Module {
     after_r_beats_ = after_r_beats;
     started_ = false;
     start_cycle_ = 0;
-    sim::notify_state_change();
+    notify_state_change();
   }
 
   void disarm() {
     point_ = FaultPoint::kNone;
     started_ = false;
-    sim::notify_state_change();
+    notify_state_change();
   }
 
   bool fault_active() const { return started_; }

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+
+namespace sim {
+
+/// Per-netlist change-epoch context. Every Wire write that changes a
+/// value (and every notify_state_change()) bumps the epoch of exactly one
+/// context; a Simulator keys its settled-state cache on its own context,
+/// so independent simulators — on the same thread or on different
+/// threads — never invalidate each other's caches.
+///
+/// Contract: coexisting simulators' netlists must be wire-disjoint. A
+/// wire written by simulator A's modules during eval/tick bumps only A's
+/// epoch, so a simulator B reading that wire would not notice the change
+/// (under the old global epoch it did). Cross-simulator coupling must go
+/// through testbench code instead — writes outside any simulator scope
+/// (including on_cycle callbacks) land on the ambient context, which
+/// conservatively invalidates every simulator on the thread.
+class SimContext {
+ public:
+  std::uint64_t epoch() const { return epoch_; }
+  void bump() { ++epoch_; }
+
+ private:
+  std::uint64_t epoch_ = 0;
+};
+
+namespace detail {
+
+/// Ambient context for wire writes performed outside any simulator scope
+/// (testbench code poking wires between cycles). thread_local, so worker
+/// threads running independent campaigns share nothing. Every Simulator
+/// on a thread treats the ambient epoch as part of its cache key:
+/// ambient writes conservatively invalidate all of them.
+inline thread_local SimContext t_ambient_ctx{};
+
+/// The simulator context currently evaluating on this thread, or nullptr
+/// outside settle()/step()/reset().
+inline thread_local SimContext* t_active_ctx = nullptr;
+
+inline SimContext& current_ctx() {
+  return t_active_ctx != nullptr ? *t_active_ctx : t_ambient_ctx;
+}
+
+inline void bump_change_epoch() { current_ctx().bump(); }
+
+/// RAII scope: attribute wire changes on this thread to `ctx`. Nestable
+/// (settle() inside step()); exception-safe so a ConvergenceError does
+/// not leave a dangling active context.
+class ActiveContextScope {
+ public:
+  explicit ActiveContextScope(SimContext& ctx) : prev_(t_active_ctx) {
+    t_active_ctx = &ctx;
+  }
+  ~ActiveContextScope() { t_active_ctx = prev_; }
+
+  ActiveContextScope(const ActiveContextScope&) = delete;
+  ActiveContextScope& operator=(const ActiveContextScope&) = delete;
+
+ private:
+  SimContext* prev_;
+};
+
+}  // namespace detail
+
+/// Epoch of this thread's ambient context (writes outside any simulator).
+inline std::uint64_t ambient_epoch() { return detail::t_ambient_ctx.epoch(); }
+
+/// Epoch of the context wire writes are currently attributed to: the
+/// active simulator's during settle/step, the thread-ambient otherwise.
+inline std::uint64_t change_epoch() { return detail::current_ctx().epoch(); }
+
+/// Marks eval-relevant state as changed outside tick()/reset() from
+/// non-Module code. Bumps the currently attributed context; prefer
+/// Module::notify_state_change() inside modules — it targets the owning
+/// simulator precisely instead of invalidating every simulator on the
+/// thread.
+inline void notify_state_change() { detail::bump_change_epoch(); }
+
+}  // namespace sim

@@ -5,6 +5,7 @@
 namespace sim {
 
 void Simulator::reset() {
+  detail::ActiveContextScope scope(*ctx_);  // attribute reset-path writes
   for (Module* m : modules_) m->reset();
   cycle_ = 0;
   settled_ = false;  // reset() mutates register state behind the epoch's back
@@ -12,18 +13,25 @@ void Simulator::reset() {
 }
 
 void Simulator::settle() {
-  // Fast path: converged before, and no Wire changed value since (any
-  // write that changes a value — including force() — bumps the global
-  // epoch). eval() is idempotent by contract, so re-running it would
+  // Attribute every wire change during evaluation to this simulator's
+  // context, so other live simulators keep their settled caches.
+  detail::ActiveContextScope scope(*ctx_);
+  // Fast path: converged before, and neither this simulator's context
+  // nor the thread-ambient context (external testbench writes) changed
+  // since. eval() is idempotent by contract, so re-running it would
   // change nothing; skipping is exact.
-  if (settled_ && change_epoch() == settled_epoch_) return;
+  if (settled_ && ctx_->epoch() == settled_epoch_ &&
+      ambient_epoch() == settled_ambient_epoch_) {
+    return;
+  }
   for (int iter = 0; iter < kMaxDeltaIterations; ++iter) {
-    const std::uint64_t epoch_before = change_epoch();
+    const std::uint64_t epoch_before = ctx_->epoch();
     for (Module* m : modules_) m->eval();
     ++eval_passes_;
-    if (change_epoch() == epoch_before) {
+    if (ctx_->epoch() == epoch_before) {
       settled_ = true;
       settled_epoch_ = epoch_before;
+      settled_ambient_epoch_ = ambient_epoch();
       return;
     }
   }
@@ -33,8 +41,15 @@ void Simulator::settle() {
 
 void Simulator::step() {
   settle();  // free when the previous step() left the netlist settled
+  // Callbacks run OUTSIDE the context scope: they are testbench code and
+  // may write wires other simulators read, so their writes must land on
+  // the ambient context (conservative cross-simulator invalidation), not
+  // be misattributed to this simulator.
   for (auto& cb : cycle_callbacks_) cb(cycle_);
-  for (Module* m : modules_) m->tick();
+  {
+    detail::ActiveContextScope scope(*ctx_);
+    for (Module* m : modules_) m->tick();
+  }
   settled_ = false;  // tick() mutates register state behind the epoch's back
   ++cycle_;
   // Post-edge settle so callers observing wires after step() (tests,

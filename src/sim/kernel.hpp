@@ -2,9 +2,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
+#include "sim/context.hpp"
 #include "sim/module.hpp"
 
 namespace sim {
@@ -23,15 +25,36 @@ class ConvergenceError : public std::runtime_error {
 ///
 /// The kernel caches the settled state: settle() on a netlist that has
 /// already converged — and whose wires are untouched since, tracked via
-/// the global Wire write epoch — is a no-op. This makes the leading
-/// settle in step()/run_until() free, so a full run performs exactly one
-/// eval convergence per cycle (the post-edge settle).
+/// this simulator's own change-epoch context plus the thread-ambient
+/// epoch — is a no-op. This makes the leading settle in
+/// step()/run_until() free, so a full run performs exactly one eval
+/// convergence per cycle (the post-edge settle).
+///
+/// Each Simulator owns a SimContext, so independent instances coexist
+/// without invalidating each other and independent campaigns can run on
+/// separate threads (nothing is shared; the attribution state is
+/// thread_local). A Simulator and its netlist must be driven from one
+/// thread at a time, and coexisting simulators' netlists must be
+/// wire-disjoint — couple them through testbench code (e.g. on_cycle
+/// callbacks), whose writes invalidate every simulator on the thread;
+/// see sim/context.hpp.
 class Simulator {
  public:
   static constexpr int kMaxDeltaIterations = 64;
 
-  /// Registers a module (non-owning; the caller keeps ownership).
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Registers a module (non-owning; the caller keeps ownership) and
+  /// binds it to this simulator's change-epoch context. Adding the same
+  /// module to a second simulator rebinds it there (latest wins). The
+  /// context is held weakly on the module side, so destruction order
+  /// between module and simulator is unconstrained — but the registry
+  /// never self-cleans, so do not settle()/step() after a registered
+  /// module has been destroyed.
   void add(Module& m) {
+    m.bind_context(ctx_);
     modules_.push_back(&m);
     settled_ = false;
   }
@@ -68,12 +91,19 @@ class Simulator {
   /// (wire writes are tracked automatically via the write epoch).
   void invalidate_settle() { settled_ = false; }
 
+  /// This simulator's change-epoch context (wire writes during settle
+  /// and module notifications land here).
+  SimContext& context() { return *ctx_; }
+  const SimContext& context() const { return *ctx_; }
+
  private:
   std::vector<Module*> modules_;
   std::vector<std::function<void(std::uint64_t)>> cycle_callbacks_;
+  std::shared_ptr<SimContext> ctx_ = std::make_shared<SimContext>();
   std::uint64_t cycle_ = 0;
   std::uint64_t eval_passes_ = 0;
   std::uint64_t settled_epoch_ = 0;
+  std::uint64_t settled_ambient_epoch_ = 0;
   bool settled_ = false;
 };
 

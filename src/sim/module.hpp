@@ -1,7 +1,10 @@
 #pragma once
 
+#include <memory>
 #include <string>
 #include <utility>
+
+#include "sim/context.hpp"
 
 namespace sim {
 
@@ -28,8 +31,35 @@ class Module {
 
   const std::string& name() const { return name_; }
 
+  /// Binds the module to a simulator's change-epoch context (called by
+  /// Simulator::add). Held weakly: a module outliving its simulator
+  /// falls back to ambient notification instead of dangling, and
+  /// destruction order between module and simulator is unconstrained.
+  void bind_context(std::weak_ptr<SimContext> ctx) {
+    ctx_ = std::move(ctx);
+  }
+  /// The bound simulator's context, or nullptr if unbound / the
+  /// simulator is gone.
+  SimContext* context() const { return ctx_.lock().get(); }
+
+ protected:
+  /// Marks eval-relevant module state as changed outside tick()/reset()
+  /// — e.g. a testbench calling arm()/set_*() between cycles. Bumps the
+  /// bound simulator's epoch so exactly that simulator's settled-state
+  /// cache misses; falls back to the ambient context (invalidating every
+  /// simulator on the thread) when unbound. Wire writes are tracked
+  /// automatically; this is only for state the wires can't see.
+  void notify_state_change() {
+    if (auto ctx = ctx_.lock()) {
+      ctx->bump();
+    } else {
+      sim::notify_state_change();
+    }
+  }
+
  private:
   std::string name_;
+  std::weak_ptr<SimContext> ctx_;
 };
 
 }  // namespace sim

@@ -21,6 +21,29 @@ class RunningStats {
     max_ = std::max(max_, x);
   }
 
+  /// Combines another stream into this one (Chan et al. parallel
+  /// Welford): count, mean, variance, min and max afterwards equal the
+  /// exact pooled statistics of both streams. campaign::Engine pools
+  /// per-scenario summaries into its campaign-wide summary this way;
+  /// multi-process campaign shards can combine partial reports the
+  /// same way.
+  void merge(const RunningStats& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double delta = o.mean_ - mean_;
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(o.n_);
+    const double nab = na + nb;
+    m2_ += o.m2_ + delta * delta * (na * nb / nab);
+    mean_ += delta * (nb / nab);
+    n_ += o.n_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
   std::uint64_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
   double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
@@ -41,6 +64,11 @@ class RunningStats {
 class Histogram {
  public:
   void add(std::uint64_t value) { ++bins_[value]; }
+
+  /// Combines another histogram into this one (exact: integer counts).
+  void merge(const Histogram& o) {
+    for (const auto& [v, c] : o.bins_) bins_[v] += c;
+  }
 
   std::uint64_t count(std::uint64_t value) const {
     auto it = bins_.find(value);

@@ -1,30 +1,19 @@
 #pragma once
 
-#include <cstdint>
 #include <utility>
 
+#include "sim/context.hpp"
+
 namespace sim {
-
-namespace detail {
-/// Global change epoch. Every Wire::write that actually changes a value
-/// bumps this counter; the kernel uses it to detect combinational
-/// convergence (an eval pass that changes nothing leaves it untouched).
-inline std::uint64_t g_change_epoch = 0;
-}  // namespace detail
-
-/// Returns the current global change epoch (see detail::g_change_epoch).
-inline std::uint64_t change_epoch() { return detail::g_change_epoch; }
-
-/// Marks eval-relevant module state as changed outside tick()/reset() —
-/// e.g. a testbench calling arm()/set_*() between cycles. Bumps the
-/// epoch so every Simulator's settled-state cache misses and the next
-/// settle() re-evaluates. Wire writes are tracked automatically; this is
-/// only for state the wires can't see.
-inline void notify_state_change() { ++detail::g_change_epoch; }
 
 /// A combinational signal. Modules read inputs and write outputs through
 /// wires during eval(); the kernel repeats eval passes until no wire
 /// changes. T must be equality-comparable and cheap to copy.
+///
+/// Change tracking is per-context (see sim/context.hpp): a write that
+/// changes the value bumps the epoch of the simulator currently
+/// evaluating on this thread, or the thread-ambient context when no
+/// simulator is active.
 template <typename T>
 class Wire {
  public:
@@ -33,18 +22,24 @@ class Wire {
 
   const T& read() const { return value_; }
 
-  /// Writes v; bumps the global change epoch iff the value differs.
+  /// Writes v; bumps the attributed change epoch iff the value differs.
   void write(const T& v) {
     if (!(v == value_)) {
       value_ = v;
-      ++detail::g_change_epoch;
+      detail::bump_change_epoch();
     }
   }
 
-  /// Forces the value without equality comparison (used by reset paths).
+  /// Sets the value from reset paths. Like write(), bumps the epoch only
+  /// on an actual change: reset storms that force already-default values
+  /// must not invalidate unrelated simulators' settled caches (the kernel
+  /// invalidates its own cache explicitly on reset(), so skipping the
+  /// bump never hides a reset from the owning simulator).
   void force(T v) {
-    value_ = std::move(v);
-    ++detail::g_change_epoch;
+    if (!(v == value_)) {
+      value_ = std::move(v);
+      detail::bump_change_epoch();
+    }
   }
 
  private:

@@ -45,7 +45,7 @@ class EthernetPeripheral : public sim::Module {
   /// in-flight transaction state; counters survive (MMIO-visible).
   void hw_reset() {
     clear_pending_ = true;
-    sim::notify_state_change();
+    notify_state_change();
   }
 
   std::uint64_t frames_txed() const { return beats_drained_; }

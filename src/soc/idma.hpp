@@ -34,7 +34,7 @@ class IdmaEngine : public sim::Module {
   void submit(const DmaDescriptor& d) {
     if (d.beats > 0) {
       queue_.push_back(d);
-      sim::notify_state_change();
+      notify_state_change();
     }
   }
 

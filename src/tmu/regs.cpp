@@ -111,7 +111,7 @@ void Tmu::write_reg(std::uint32_t offset, std::uint32_t value) {
   }
   // Register writes change eval-visible config without touching a wire
   // (tests call write_reg directly, bypassing the MMIO front-end).
-  sim::notify_state_change();
+  notify_state_change();
 }
 
 }  // namespace tmu

@@ -67,7 +67,7 @@ class Tmu : public sim::Module {
   /// register write a recovery handler performs.
   void clear_irq() {
     irq_latched_ = false;
-    sim::notify_state_change();
+    notify_state_change();
   }
 
   // ---- software register file (§II-A) ----

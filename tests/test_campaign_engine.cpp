@@ -1,0 +1,185 @@
+// campaign::Engine unit tests: deterministic sharding (a run with 1
+// thread equals a run with N threads byte-for-byte), seed derivation,
+// aggregation, JSON output, and error propagation from worker threads.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "sim/logger.hpp"
+#include "tmu/config.hpp"
+
+namespace {
+
+using fault::FaultPoint;
+using tmu::Variant;
+
+campaign::TrialSpec small_spec(Variant v, FaultPoint p) {
+  campaign::TrialSpec spec;
+  spec.cfg.variant = v;
+  spec.cfg.tc_total_budget = 200;
+  spec.cfg.adaptive.enabled = true;
+  spec.cfg.adaptive.cycles_per_beat = 3;
+  spec.cfg.adaptive.cycles_per_ahead = 6;
+  spec.point = p;
+  spec.traffic.enabled = true;
+  spec.traffic.p_new_txn = 0.25;
+  spec.traffic.max_outstanding = 6;
+  spec.traffic.len_max = 7;
+  spec.inject_delay_max = 300;
+  spec.detect_budget = 4000;
+  return spec;
+}
+
+std::vector<campaign::Scenario> small_campaign(std::size_t trials) {
+  std::vector<campaign::Scenario> sc;
+  sc.push_back(campaign::make_scenario(
+      "fc/aw_ready_stuck",
+      small_spec(Variant::kFullCounter, FaultPoint::kAwReadyStuck), trials));
+  sc.push_back(campaign::make_scenario(
+      "tc/r_valid_stuck",
+      small_spec(Variant::kTinyCounter, FaultPoint::kRValidStuck), trials));
+  return sc;
+}
+
+class CampaignEngine : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_ = sim::global_log_level();
+    sim::global_log_level() = sim::LogLevel::kOff;
+  }
+  void TearDown() override { sim::global_log_level() = saved_; }
+
+ private:
+  sim::LogLevel saved_ = sim::LogLevel::kWarn;
+};
+
+TEST_F(CampaignEngine, OneThreadEqualsNThreadsByteForByte) {
+  const auto scenarios = small_campaign(12);
+  campaign::Engine one({1, 0xABCDEFull});
+  campaign::Engine four({4, 0xABCDEFull});
+  EXPECT_EQ(one.threads(), 1u);
+  EXPECT_EQ(four.threads(), 4u);
+  const campaign::Report r1 = one.run(scenarios);
+  const campaign::Report r4 = four.run(scenarios);
+  EXPECT_EQ(r1.to_json(), r4.to_json());
+  // Per-trial results agree too, not just the aggregates.
+  ASSERT_EQ(r1.results.size(), r4.results.size());
+  for (std::size_t i = 0; i < r1.results.size(); ++i) {
+    EXPECT_EQ(r1.results[i].detected, r4.results[i].detected);
+    EXPECT_EQ(r1.results[i].inject_delay, r4.results[i].inject_delay);
+    EXPECT_EQ(r1.results[i].detect_cycle, r4.results[i].detect_cycle);
+    EXPECT_EQ(r1.results[i].latency, r4.results[i].latency);
+    EXPECT_EQ(r1.results[i].cycles_run, r4.results[i].cycles_run);
+    EXPECT_EQ(r1.results[i].eval_passes, r4.results[i].eval_passes);
+  }
+}
+
+TEST_F(CampaignEngine, DerivedSeedsAreDistinctPerTrial) {
+  const auto scenarios = small_campaign(16);
+  campaign::Engine eng({2, 0x1234ull});
+  const campaign::Report rep = eng.run(scenarios);
+  // Distinct seeds show up as distinct injection-delay draws; with 32
+  // trials over [0, 300] at least a handful must differ.
+  std::set<std::uint64_t> delays;
+  for (const auto& r : rep.results) delays.insert(r.inject_delay);
+  EXPECT_GT(delays.size(), 8u);
+}
+
+TEST_F(CampaignEngine, DifferentBaseSeedsGiveDifferentCampaigns) {
+  const auto scenarios = small_campaign(8);
+  campaign::Engine a({2, 1ull});
+  campaign::Engine b({2, 2ull});
+  EXPECT_NE(a.run(scenarios).to_json(), b.run(scenarios).to_json());
+}
+
+TEST_F(CampaignEngine, FullCoverageAndAggregation) {
+  const auto scenarios = small_campaign(10);
+  campaign::Engine eng({0, 0xC0FFEEull});  // hardware concurrency
+  const campaign::Report rep = eng.run(scenarios);
+  ASSERT_EQ(rep.scenarios.size(), 2u);
+  EXPECT_EQ(rep.total_trials(), 20u);
+  for (const auto& sc : rep.scenarios) {
+    EXPECT_EQ(sc.trials, 10u);
+    EXPECT_EQ(sc.detected, 10u) << sc.label;  // P1: always detected
+    EXPECT_EQ(sc.latency.count(), 10u);
+    EXPECT_GT(sc.latency.mean(), 0.0);
+    EXPECT_LE(sc.latency.min(), sc.latency.mean());
+    EXPECT_LE(sc.latency.mean(), sc.latency.max());
+    EXPECT_EQ(sc.latency_hist.total(), 10u);
+    EXPECT_GT(sc.total_cycles, 0u);
+    EXPECT_GT(sc.total_eval_passes, 0u);
+  }
+}
+
+TEST_F(CampaignEngine, HealthySoakHasNoFalsePositives) {
+  campaign::TrialSpec spec =
+      small_spec(Variant::kFullCounter, FaultPoint::kNone);
+  spec.soak_cycles = 3000;
+  std::vector<campaign::Scenario> sc;
+  sc.push_back(campaign::make_scenario("healthy", spec, 6));
+  campaign::Engine eng({3, 0xFEEDull});
+  const campaign::Report rep = eng.run(sc);
+  EXPECT_EQ(rep.scenarios[0].false_positives, 0u);
+  EXPECT_EQ(rep.scenarios[0].detected, 0u);
+  for (const auto& r : rep.results) {
+    EXPECT_GT(r.completed_txns, 50u);
+    EXPECT_EQ(r.data_mismatches, 0u);
+    EXPECT_EQ(r.error_responses, 0u);
+  }
+}
+
+TEST_F(CampaignEngine, CustomTrialFnAndJsonShape) {
+  // The engine is generic over the trial body.
+  campaign::TrialSpec proto;
+  std::vector<campaign::Scenario> sc;
+  sc.push_back(campaign::make_scenario("synthetic \"quoted\"", proto, 5));
+  campaign::Engine eng({2, 7ull});
+  const campaign::Report rep =
+      eng.run(sc, [](const campaign::TrialSpec& s) {
+        campaign::TrialResult r;
+        r.detected = false;  // healthy scenario path (point == kNone)
+        r.cycles_run = s.seed % 100;
+        return r;
+      });
+  EXPECT_EQ(rep.total_trials(), 5u);
+  const std::string json = rep.to_json();
+  EXPECT_NE(json.find("\"schema\": \"tmu-campaign-report-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("synthetic \\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"false_positives\": 0"), std::string::npos);
+}
+
+TEST_F(CampaignEngine, WorkerExceptionPropagatesToCaller) {
+  campaign::TrialSpec proto;
+  std::vector<campaign::Scenario> sc;
+  sc.push_back(campaign::make_scenario("boom", proto, 8));
+  campaign::Engine eng({2, 9ull});
+  EXPECT_THROW(
+      eng.run(sc,
+              [](const campaign::TrialSpec&) -> campaign::TrialResult {
+                throw std::runtime_error("trial blew up");
+              }),
+      std::runtime_error);
+}
+
+TEST_F(CampaignEngine, WriteJsonRoundTrips) {
+  const auto scenarios = small_campaign(3);
+  campaign::Engine eng({1, 5ull});
+  const campaign::Report rep = eng.run(scenarios);
+  const std::string path = ::testing::TempDir() + "campaign_test.json";
+  ASSERT_TRUE(rep.write_json(path));
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  EXPECT_EQ(ss.str(), rep.to_json());
+}
+
+}  // namespace

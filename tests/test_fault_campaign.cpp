@@ -1,57 +1,24 @@
 // Randomized fault-injection campaign (§III-A.3 "injecting random
-// failures at key AXI transaction stages"): for every fault point, many
-// trials with randomized injection delay under randomized background
-// traffic. Properties:
+// failures at key AXI transaction stages"), run through the parallel
+// campaign::Engine: for every fault point, many trials with randomized
+// injection delay under randomized background traffic. Properties:
 //   P1  the TMU always detects the fault within a bound;
 //   P2  after recovery, traffic flows again;
 //   P3  with no fault armed, long random soaks never flag anything.
 
 #include <gtest/gtest.h>
 
-#include "axi/link.hpp"
-#include "axi/memory.hpp"
-#include "axi/traffic_gen.hpp"
-#include "fault/injector.hpp"
-#include "sim/kernel.hpp"
-#include "sim/random.hpp"
-#include "soc/reset_unit.hpp"
-#include "tmu/tmu.hpp"
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "sim/logger.hpp"
+#include "tmu/config.hpp"
 
 namespace {
 
-using namespace axi;
 using fault::FaultPoint;
 using tmu::Variant;
-
-struct CampaignBench {
-  Link l_gen, l_tmu_mst, l_tmu_sub, l_mem;
-  TrafficGenerator gen;
-  fault::FaultInjector inj_m{"inj_m", l_gen, l_tmu_mst};
-  tmu::Tmu tmu;
-  fault::FaultInjector inj_s{"inj_s", l_tmu_sub, l_mem};
-  MemorySubordinate mem{"mem", l_mem};
-  soc::ResetUnit rst;
-  sim::Simulator s;
-
-  CampaignBench(const tmu::TmuConfig& cfg, std::uint64_t seed)
-      : gen("gen", l_gen, seed),
-        tmu("tmu", l_tmu_mst, l_tmu_sub, cfg),
-        rst("rst", tmu.reset_req, tmu.reset_ack, [this] { mem.hw_reset(); }) {
-    s.add(gen);
-    s.add(inj_m);
-    s.add(tmu);
-    s.add(inj_s);
-    s.add(mem);
-    s.add(rst);
-    s.reset();
-    RandomTrafficConfig rc;
-    rc.enabled = true;
-    rc.p_new_txn = 0.25;
-    rc.max_outstanding = 6;
-    rc.len_max = 7;
-    gen.set_random(rc);
-  }
-};
 
 tmu::TmuConfig campaign_cfg(Variant v) {
   tmu::TmuConfig cfg;
@@ -70,67 +37,99 @@ tmu::TmuConfig campaign_cfg(Variant v) {
 /// for the fault to actually bite a transaction under random traffic.
 constexpr std::uint64_t kDetectionBound = 3000;
 
-class CampaignSweep
-    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+campaign::TrialSpec trial_proto(Variant v, FaultPoint p) {
+  campaign::TrialSpec spec;
+  spec.cfg = campaign_cfg(v);
+  spec.point = p;
+  spec.traffic.enabled = true;
+  spec.traffic.p_new_txn = 0.25;
+  spec.traffic.max_outstanding = 6;
+  spec.traffic.len_max = 7;
+  spec.inject_delay_max = 400;
+  spec.detect_budget = kDetectionBound;
+  spec.exercise_recovery = true;  // P2 rides along in every trial
+  return spec;
+}
 
-TEST_P(CampaignSweep, AlwaysDetectsWithinBound) {
-  const auto [point_idx, trial] = GetParam();
-  const auto point = static_cast<FaultPoint>(point_idx);
-  for (Variant v : {Variant::kFullCounter, Variant::kTinyCounter}) {
-    CampaignBench b(campaign_cfg(v), 1000 + trial * 7);
-    sim::Rng rng(99 + trial);
-    const std::uint64_t delay = rng.range(0, 400);
-    auto& inj = fault::is_manager_side(point) ? b.inj_m : b.inj_s;
-    inj.arm(point, delay);
-    const bool detected =
-        b.s.run_until([&] { return b.tmu.any_fault(); },
-                      delay + kDetectionBound);
-    ASSERT_TRUE(detected) << "variant=" << to_string(v)
-                          << " point=" << to_string(point)
-                          << " delay=" << delay;
-    // P2: recovery completes and traffic resumes.
-    inj.disarm();
-    ASSERT_TRUE(b.s.run_until([&] { return b.tmu.recoveries() >= 1; }, 2000));
-    const auto before = b.gen.completed();
-    ASSERT_TRUE(b.s.run_until([&] { return b.gen.completed() > before; },
-                              2000))
-        << "traffic did not resume after recovery, variant=" << to_string(v);
+const std::vector<FaultPoint> kPoints = {
+    FaultPoint::kAwReadyStuck, FaultPoint::kWReadyStuck,
+    FaultPoint::kBValidStuck,  FaultPoint::kArReadyStuck,
+    FaultPoint::kRValidStuck,  FaultPoint::kWValidStuck,
+};
+
+class FaultCampaign : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_ = sim::global_log_level();
+    sim::global_log_level() = sim::LogLevel::kOff;
+  }
+  void TearDown() override { sim::global_log_level() = saved_; }
+
+ private:
+  sim::LogLevel saved_ = sim::LogLevel::kWarn;
+};
+
+TEST_F(FaultCampaign, AlwaysDetectsAndRecoversAcrossAllPoints) {
+  constexpr std::size_t kTrialsPerPair = 6;
+  std::vector<campaign::Scenario> scenarios;
+  for (FaultPoint p : kPoints) {
+    for (Variant v : {Variant::kFullCounter, Variant::kTinyCounter}) {
+      const char* vs = v == Variant::kFullCounter ? "fc/" : "tc/";
+      scenarios.push_back(campaign::make_scenario(
+          vs + std::string(to_string(p)), trial_proto(v, p),
+          kTrialsPerPair));
+    }
+  }
+  campaign::Engine eng({0, 0x5EED5ull});  // hardware concurrency
+  const campaign::Report rep = eng.run(scenarios);
+  ASSERT_EQ(rep.scenarios.size(), kPoints.size() * 2);
+  for (const auto& sc : rep.scenarios) {
+    // P1: every trial detects within the bound.
+    EXPECT_EQ(sc.detected, kTrialsPerPair) << sc.label;
+    // P2: every trial recovers and traffic resumes afterwards.
+    EXPECT_EQ(sc.recovered, kTrialsPerPair) << sc.label;
+    EXPECT_EQ(sc.traffic_resumed, kTrialsPerPair) << sc.label;
+    // Detection latency is positive and bounded.
+    EXPECT_GT(sc.latency.count(), 0u) << sc.label;
+    EXPECT_LE(sc.latency.max(), static_cast<double>(kDetectionBound))
+        << sc.label;
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    PointsXTrials, CampaignSweep,
-    ::testing::Combine(
-        ::testing::Values(
-            static_cast<int>(FaultPoint::kAwReadyStuck),
-            static_cast<int>(FaultPoint::kWReadyStuck),
-            static_cast<int>(FaultPoint::kBValidStuck),
-            static_cast<int>(FaultPoint::kArReadyStuck),
-            static_cast<int>(FaultPoint::kRValidStuck),
-            static_cast<int>(FaultPoint::kWValidStuck)),
-        ::testing::Values(0, 1, 2)));
-
-class HealthySoak : public ::testing::TestWithParam<int> {};
-
-TEST_P(HealthySoak, NoFalsePositivesUnderRandomTraffic) {
-  CampaignBench b(campaign_cfg(Variant::kFullCounter),
-                  static_cast<std::uint64_t>(GetParam()));
-  b.s.run(10000);
-  EXPECT_FALSE(b.tmu.any_fault())
-      << b.tmu.fault_log().front().describe();
-  EXPECT_GT(b.gen.completed(), 200u);
-  EXPECT_EQ(b.gen.data_mismatches(), 0u);
-  EXPECT_EQ(b.gen.error_responses(), 0u);
+TEST_F(FaultCampaign, EngineRunMatchesSerialRun) {
+  // The campaign itself is the determinism witness: same base seed, one
+  // thread vs many, byte-identical report.
+  std::vector<campaign::Scenario> scenarios;
+  scenarios.push_back(campaign::make_scenario(
+      "fc/b_valid_stuck",
+      trial_proto(Variant::kFullCounter, FaultPoint::kBValidStuck), 8));
+  const campaign::Report serial =
+      campaign::Engine({1, 0xD00Dull}).run(scenarios);
+  const campaign::Report parallel =
+      campaign::Engine({4, 0xD00Dull}).run(scenarios);
+  EXPECT_EQ(serial.to_json(), parallel.to_json());
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, HealthySoak,
-                         ::testing::Values(11, 22, 33, 44, 55));
-
-TEST(Campaign, TcSoakNoFalsePositives) {
-  CampaignBench b(campaign_cfg(Variant::kTinyCounter), 77);
-  b.s.run(10000);
-  EXPECT_FALSE(b.tmu.any_fault());
-  EXPECT_GT(b.gen.completed(), 200u);
+TEST_F(FaultCampaign, NoFalsePositivesUnderRandomTraffic) {
+  // P3: healthy soaks across several seeds, both variants.
+  std::vector<campaign::Scenario> scenarios;
+  for (Variant v : {Variant::kFullCounter, Variant::kTinyCounter}) {
+    campaign::TrialSpec spec = trial_proto(v, FaultPoint::kNone);
+    spec.exercise_recovery = false;
+    spec.soak_cycles = 10000;
+    const char* vs = v == Variant::kFullCounter ? "fc/healthy" : "tc/healthy";
+    scenarios.push_back(campaign::make_scenario(vs, spec, 5));
+  }
+  campaign::Engine eng({0, 0xBEEFull});
+  const campaign::Report rep = eng.run(scenarios);
+  for (const auto& sc : rep.scenarios) {
+    EXPECT_EQ(sc.false_positives, 0u) << sc.label;
+  }
+  for (const auto& r : rep.results) {
+    EXPECT_GT(r.completed_txns, 200u);
+    EXPECT_EQ(r.data_mismatches, 0u);
+    EXPECT_EQ(r.error_responses, 0u);
+  }
 }
 
 }  // namespace

@@ -31,7 +31,11 @@ TEST(WireEpoch, OnlyRealChangesBumpEpoch) {
   EXPECT_EQ(sim::change_epoch(), e0 + 1);
   w.write(5);
   EXPECT_EQ(sim::change_epoch(), e0 + 1);
-  w.force(5);  // force always bumps (reset paths)
+  // force() also bumps only on an actual change: reset storms forcing
+  // already-default values must not invalidate unrelated simulators.
+  w.force(5);
+  EXPECT_EQ(sim::change_epoch(), e0 + 1);
+  w.force(6);
   EXPECT_EQ(sim::change_epoch(), e0 + 2);
 }
 

@@ -121,10 +121,19 @@ TEST(SimSettle, ResetInvalidatesSettledState) {
 TEST(SimSettle, ForceInvalidatesSettledState) {
   CounterFixture f;
   f.s.step();
-  f.q.force(41);  // bumps the write epoch unconditionally
+  f.q.force(41);  // an actual change: bumps the write epoch
   const std::uint64_t p0 = f.s.eval_passes();
   f.s.settle();
   EXPECT_GT(f.s.eval_passes(), p0);
+}
+
+TEST(SimSettle, NoChangeForceKeepsFastPath) {
+  CounterFixture f;
+  f.s.step();
+  const std::uint64_t p0 = f.s.eval_passes();
+  f.q.force(f.q.read());  // same value: no epoch bump, cache stays valid
+  f.s.settle();
+  EXPECT_EQ(f.s.eval_passes(), p0);
 }
 
 // A pure combinational pass-through, for testing external wire writes.

@@ -1,0 +1,103 @@
+// RunningStats::merge / Histogram::merge: combining worker shards must
+// equal the pooled single-stream statistics, so a sharded campaign can
+// aggregate exactly (satellite of the parallel campaign engine).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+std::vector<double> sample_stream(std::uint64_t seed, int n) {
+  sim::Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    xs.push_back(static_cast<double>(rng.range(0, 10000)) / 7.0);
+  }
+  return xs;
+}
+
+TEST(RunningStatsMerge, MergedShardsEqualSingleStream) {
+  const auto xs = sample_stream(42, 1000);
+
+  sim::RunningStats single;
+  for (double x : xs) single.add(x);
+
+  // Split into 4 uneven shards, as a thread pool would.
+  sim::RunningStats shards[4];
+  const std::size_t cuts[5] = {0, 117, 430, 431, xs.size()};
+  for (int s = 0; s < 4; ++s) {
+    for (std::size_t i = cuts[s]; i < cuts[s + 1]; ++i) {
+      shards[s].add(xs[i]);
+    }
+  }
+  sim::RunningStats merged;
+  for (const auto& sh : shards) merged.merge(sh);
+
+  EXPECT_EQ(merged.count(), single.count());
+  EXPECT_NEAR(merged.mean(), single.mean(), 1e-9 * single.mean());
+  EXPECT_NEAR(merged.variance(), single.variance(),
+              1e-9 * single.variance());
+  EXPECT_DOUBLE_EQ(merged.min(), single.min());
+  EXPECT_DOUBLE_EQ(merged.max(), single.max());
+}
+
+TEST(RunningStatsMerge, EmptySidesAreIdentity) {
+  sim::RunningStats a;
+  a.add(3.0);
+  a.add(5.0);
+
+  sim::RunningStats empty;
+  sim::RunningStats left = a;
+  left.merge(empty);  // rhs empty: unchanged
+  EXPECT_EQ(left.count(), 2u);
+  EXPECT_DOUBLE_EQ(left.mean(), 4.0);
+
+  sim::RunningStats right;
+  right.merge(a);  // lhs empty: becomes rhs
+  EXPECT_EQ(right.count(), 2u);
+  EXPECT_DOUBLE_EQ(right.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(right.min(), 3.0);
+  EXPECT_DOUBLE_EQ(right.max(), 5.0);
+
+  sim::RunningStats both;
+  both.merge(sim::RunningStats{});  // empty + empty stays empty
+  EXPECT_EQ(both.count(), 0u);
+  EXPECT_DOUBLE_EQ(both.mean(), 0.0);
+}
+
+TEST(RunningStatsMerge, SingleElementShards) {
+  const auto xs = sample_stream(7, 64);
+  sim::RunningStats single, merged;
+  for (double x : xs) {
+    single.add(x);
+    sim::RunningStats one;
+    one.add(x);
+    merged.merge(one);
+  }
+  EXPECT_EQ(merged.count(), single.count());
+  EXPECT_NEAR(merged.mean(), single.mean(), 1e-9 * single.mean());
+  EXPECT_NEAR(merged.stddev(), single.stddev(), 1e-9 * single.stddev());
+}
+
+TEST(HistogramMerge, CountsAddExactly) {
+  sim::Histogram a, b, single;
+  const auto xs = sample_stream(99, 500);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const auto v = static_cast<std::uint64_t>(xs[i]);
+    single.add(v);
+    (i % 2 != 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.total(), single.total());
+  EXPECT_EQ(a.bins(), single.bins());
+  EXPECT_EQ(a.percentile(0.5), single.percentile(0.5));
+  EXPECT_EQ(a.percentile(0.99), single.percentile(0.99));
+}
+
+}  // namespace
