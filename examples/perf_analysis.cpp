@@ -81,5 +81,22 @@ int main() {
                 static_cast<unsigned long long>(log[i].addr), log[i].len + 1,
                 log[i].total_cycles);
   }
+
+  // Simulator-side cost of the run, courtesy of the event-driven
+  // scheduler (src/sim/sched/): how much eval work the wire fan-out
+  // dirty-sets actually performed vs. what a full sweep would pay.
+  const sim::sched::SchedStats& ss = s.sched_stats();
+  std::printf("\nscheduler: %llu module evals over %llu cycles "
+              "(%.2f evals/cycle), "
+              "%llu wire writes, %llu wakeups, %zu wires / %zu edges, "
+              "%llu sensitivity misses\n",
+              static_cast<unsigned long long>(ss.module_evals),
+              static_cast<unsigned long long>(s.cycle()),
+              static_cast<double>(ss.module_evals) /
+                  static_cast<double>(s.cycle()),
+              static_cast<unsigned long long>(ss.wire_writes),
+              static_cast<unsigned long long>(ss.wakeups), ss.wires,
+              ss.edges,
+              static_cast<unsigned long long>(ss.sensitivity_misses));
   return 0;
 }

@@ -14,7 +14,10 @@ mkdir -p "$(dirname "$out")" "$(dirname "$campaign_out")"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j --target bench_sim_throughput bench_campaign
 
-./build/bench_sim_throughput \
+# Arg 0 = full-sweep scheduler, arg 1 = event-driven: the baseline
+# carries both policies. TMU_SPEEDUP_REPORT=0 skips the chrono preamble
+# (run ./build/bench_sim_throughput directly for the speedup table).
+TMU_SPEEDUP_REPORT=0 ./build/bench_sim_throughput \
   --benchmark_out="$out" \
   --benchmark_out_format=json \
   --benchmark_repetitions=3 \

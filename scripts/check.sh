@@ -21,6 +21,12 @@ cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
+# Scheduler determinism gate: the event-driven dirty-set kernel must be
+# cycle-exact against the full sweep on the seeded IP and SoC netlists
+# (lockstep fuzz incl. fault campaigns and idle phases).
+./build/test_sched_equiv --gtest_brief=1
+echo "check.sh: event-driven vs full-sweep equivalence OK"
+
 if [[ "$run_bench" == 1 ]]; then
   ./build/bench_sim_throughput \
     --benchmark_out=build/sim_throughput.bench.json \

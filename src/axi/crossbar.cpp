@@ -164,10 +164,18 @@ void Crossbar::tick() {
   const std::size_t n_m = mgrs_.size();
   const std::size_t n_s = subs_.size();
 
+  // Edge activity: the tick state (routing queues, round-robin and
+  // same-ID bookkeeping) only mutates on handshakes, which require a
+  // valid somewhere; DECERR bursts also ripen from dec_q_. Quiet ports
+  // all around means the edge was a provable no-op for eval().
+  bool evt = !dec_q_.empty();
+
   // Observe settled wires.
   for (std::size_t m = 0; m < n_m; ++m) {
     const AxiReq& mq = mgrs_[m]->req.read();
     const AxiRsp& mr = mgrs_[m]->rsp.read();
+    evt = evt || mq.aw_valid || mq.w_valid || mq.ar_valid || mr.b_valid ||
+          mr.r_valid;
 
     if (aw_fire(mq, mr)) {
       const std::size_t s = decode(mq.aw.addr);
@@ -272,6 +280,7 @@ void Crossbar::tick() {
       }
     }
   }
+  tick_evt_ = evt;
 }
 
 void Crossbar::reset() {

@@ -43,6 +43,7 @@ class Crossbar : public sim::Module {
   void eval() override;
   void tick() override;
   void reset() override;
+  bool tick_changed_eval_state() const override { return tick_evt_; }
 
   std::size_t decode_errors() const { return decode_errors_; }
 
@@ -89,6 +90,7 @@ class Crossbar : public sim::Module {
   // Default (DECERR) subordinate state.
   std::deque<DecErrTxn> dec_q_;
   std::size_t decode_errors_ = 0;
+  bool tick_evt_ = true;  ///< last tick touched eval-relevant state
 };
 
 }  // namespace axi

@@ -82,6 +82,7 @@ void MemorySubordinate::tick() {
     w_rate_cnt_ = r_rate_cnt_ = 0;
     clear_inflight_ = false;
     ++cycle_;
+    tick_evt_ = true;  // queues flushed: response outputs may drop
     return;
   }
 
@@ -144,6 +145,14 @@ void MemorySubordinate::tick() {
   }
 
   ++cycle_;
+  // Edge activity: handshakes mutate the queues, pending requests
+  // advance accept-latency counters, and non-empty queues ripen against
+  // cycle_ (latency expiry) — any of those can move eval() outputs. A
+  // fully quiet edge (no valids, everything drained) provably cannot.
+  tick_evt_ = aw_fire(q, s) || w_fire(q, s) || b_fire(q, s) ||
+              ar_fire(q, s) || r_fire(q, s) || q.aw_valid || q.ar_valid ||
+              !write_q_.empty() || !b_q_.empty() || !read_q_.empty() ||
+              w_rate_cnt_ != 0 || r_rate_cnt_ != 0;
 }
 
 void MemorySubordinate::reset() {

@@ -36,6 +36,7 @@ class MemorySubordinate : public sim::Module {
   void eval() override;
   void tick() override;
   void reset() override;
+  bool tick_changed_eval_state() const override { return tick_evt_; }
 
   /// Backdoor accessors for tests.
   std::uint8_t peek(Addr a) const {
@@ -99,6 +100,7 @@ class MemorySubordinate : public sim::Module {
   std::uint64_t cycle_ = 0;
   std::size_t writes_done_ = 0, reads_done_ = 0;
   bool clear_inflight_ = false;
+  bool tick_evt_ = true;  ///< last tick touched eval-relevant state
 };
 
 }  // namespace axi

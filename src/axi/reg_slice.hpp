@@ -65,18 +65,32 @@ class RegSlice : public sim::Module {
 
     // Pops first (free a slot), then pushes: a full buffer still
     // sustains one transfer per cycle.
+    const bool pop = (dq.aw_valid && ds.aw_ready) ||
+                     (dq.w_valid && ds.w_ready) ||
+                     (dq.ar_valid && ds.ar_ready) ||
+                     (us.b_valid && uq.b_ready) || (us.r_valid && uq.r_ready);
     if (dq.aw_valid && ds.aw_ready) aw_.pop();
     if (dq.w_valid && ds.w_ready) w_.pop();
     if (dq.ar_valid && ds.ar_ready) ar_.pop();
     if (us.b_valid && uq.b_ready) b_.pop();
     if (us.r_valid && uq.r_ready) r_.pop();
 
+    const bool push = (uq.aw_valid && us.aw_ready) ||
+                      (uq.w_valid && us.w_ready) ||
+                      (uq.ar_valid && us.ar_ready) ||
+                      (ds.b_valid && dq.b_ready) || (ds.r_valid && dq.r_ready);
     if (uq.aw_valid && us.aw_ready) aw_.push(uq.aw);
     if (uq.w_valid && us.w_ready) w_.push(uq.w);
     if (uq.ar_valid && us.ar_ready) ar_.push(uq.ar);
     if (ds.b_valid && dq.b_ready) b_.push(ds.b);
     if (ds.r_valid && dq.r_ready) r_.push(ds.r);
+
+    // The skid buffers (the only eval-relevant state) move exactly on
+    // handshakes.
+    tick_evt_ = pop || push;
   }
+
+  bool tick_changed_eval_state() const override { return tick_evt_; }
 
   void reset() override {
     aw_.clear();
@@ -117,6 +131,7 @@ class RegSlice : public sim::Module {
 
   Link& up_;
   Link& down_;
+  bool tick_evt_ = true;  ///< last tick touched eval-relevant state
   Skid<AwFlit> aw_;
   Skid<WFlit> w_;
   Skid<ArFlit> ar_;

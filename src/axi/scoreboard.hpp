@@ -33,6 +33,9 @@ class Scoreboard : public sim::Module {
  public:
   Scoreboard(std::string name, Link& link);
 
+  /// Samples settled wires in tick() only; schedulers skip it in settle.
+  bool is_combinational() const override { return false; }
+
   void tick() override;
   void reset() override;
 

@@ -59,6 +59,9 @@ class Tracer : public sim::Module {
   Tracer(std::string name, Link& link, std::size_t capacity = 65536)
       : sim::Module(std::move(name)), link_(link), capacity_(capacity) {}
 
+  /// Samples settled wires in tick() only; schedulers skip it in settle.
+  bool is_combinational() const override { return false; }
+
   void tick() override {
     const AxiReq q = link_.req.read();
     const AxiRsp s = link_.rsp.read();

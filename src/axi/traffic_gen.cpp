@@ -89,6 +89,8 @@ void TrafficGenerator::complete(InFlight& t, Resp resp, bool is_write) {
 void TrafficGenerator::tick() {
   const AxiReq q = link_.req.read();
   const AxiRsp s = link_.rsp.read();
+  const bool b_ready0 = b_ready_reg_;
+  const bool r_ready0 = r_ready_reg_;
 
   // --- AW accept ---
   if (aw_fire(q, s)) {
@@ -187,6 +189,15 @@ void TrafficGenerator::tick() {
 
   maybe_spawn_random();
   ++cycle_;
+  // Edge activity: handshakes move the issue queues / W streams (and
+  // outstanding gating), the ready-delay registers feed next cycle's
+  // b_ready/r_ready, and non-empty queues keep ripening (W gaps, start
+  // delays, outstanding caps releasing). A quiet edge with drained
+  // queues and stable ready registers cannot change eval() outputs.
+  tick_evt_ = aw_fire(q, s) || w_fire(q, s) || ar_fire(q, s) ||
+              b_fire(q, s) || r_fire(q, s) || !aw_queue_.empty() ||
+              !ar_queue_.empty() || !w_streams_.empty() ||
+              b_ready_reg_ != b_ready0 || r_ready_reg_ != r_ready0;
 }
 
 void TrafficGenerator::reset() {

@@ -112,6 +112,7 @@ class TrafficGenerator : public sim::Module {
   void eval() override;
   void tick() override;
   void reset() override;
+  bool tick_changed_eval_state() const override { return tick_evt_; }
 
  private:
   struct PendingIssue {
@@ -160,6 +161,7 @@ class TrafficGenerator : public sim::Module {
   std::uint32_t max_outstanding_ = 64;
 
   std::uint64_t cycle_ = 0;
+  bool tick_evt_ = true;  ///< last tick touched eval-relevant state
   std::vector<TxnRecord> records_;
   std::size_t data_mismatches_ = 0;
   std::size_t error_responses_ = 0;

@@ -19,6 +19,9 @@ class AxiPerfMonitor : public sim::Module {
   AxiPerfMonitor(std::string name, axi::Link& link)
       : sim::Module(std::move(name)), link_(link) {}
 
+  /// Samples settled wires in tick() only; schedulers skip it in settle.
+  bool is_combinational() const override { return false; }
+
   void tick() override {
     const axi::AxiReq q = link_.req.read();
     const axi::AxiRsp s = link_.rsp.read();

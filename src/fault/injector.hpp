@@ -113,6 +113,14 @@ class FaultInjector : public sim::Module {
   void tick() override;
   void reset() override;
 
+  /// Disarmed, eval() is a pure wire pass-through, so wire wakeups cover
+  /// it; armed, triggered() can flip as cycle/beat counters advance, so
+  /// every edge is eval-relevant until disarm (arm/disarm themselves
+  /// notify precisely).
+  bool tick_changed_eval_state() const override {
+    return point_ != FaultPoint::kNone;
+  }
+
  private:
   bool triggered() const {
     return point_ != FaultPoint::kNone && cycle_ >= at_cycle_ &&

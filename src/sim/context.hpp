@@ -4,6 +4,8 @@
 
 namespace sim {
 
+class Module;
+
 /// Per-netlist change-epoch context. Every Wire write that changes a
 /// value (and every notify_state_change()) bumps the epoch of exactly one
 /// context; a Simulator keys its settled-state cache on its own context,
@@ -19,11 +21,37 @@ namespace sim {
 /// conservatively invalidates every simulator on the thread.
 class SimContext {
  public:
+  /// Kernel-internal attachment point for the owning simulator's event
+  /// scheduler: module notifications routed through notify_module() can
+  /// then mark exactly the notifying module dirty instead of forcing a
+  /// full re-settle.
+  class DirtySink {
+   public:
+    virtual void on_module_notified(const Module& m) = 0;
+
+   protected:
+    ~DirtySink() = default;
+  };
+
   std::uint64_t epoch() const { return epoch_; }
   void bump() { ++epoch_; }
 
+  /// Precise notification from a bound module (Module::notify_state_change):
+  /// bumps the epoch and, when a scheduler is attached, marks the module
+  /// dirty so an event-driven settle re-evaluates only its cone.
+  void notify_module(const Module& m) {
+    ++epoch_;
+    if (sink_ != nullptr) sink_->on_module_notified(m);
+  }
+
+  /// Attaches / detaches the scheduler (nullptr to detach). The sink is
+  /// held raw: the Simulator owns both this context's shared_ptr and the
+  /// scheduler, and the scheduler detaches itself on destruction.
+  void attach_dirty_sink(DirtySink* sink) { sink_ = sink; }
+
  private:
   std::uint64_t epoch_ = 0;
+  DirtySink* sink_ = nullptr;
 };
 
 namespace detail {

@@ -1,5 +1,7 @@
 #include "sim/kernel.hpp"
 
+#include <string>
+
 #include "sim/wire.hpp"
 
 namespace sim {
@@ -16,6 +18,14 @@ void Simulator::settle() {
   // Attribute every wire change during evaluation to this simulator's
   // context, so other live simulators keep their settled caches.
   detail::ActiveContextScope scope(*ctx_);
+  if (policy_ == sched::SchedPolicy::kEventDriven) {
+    settle_event_driven();
+  } else {
+    settle_full_sweep();
+  }
+}
+
+void Simulator::settle_full_sweep() {
   // Fast path: converged before, and neither this simulator's context
   // nor the thread-ambient context (external testbench writes) changed
   // since. eval() is idempotent by contract, so re-running it would
@@ -26,7 +36,12 @@ void Simulator::settle() {
   }
   for (int iter = 0; iter < kMaxDeltaIterations; ++iter) {
     const std::uint64_t epoch_before = ctx_->epoch();
-    for (Module* m : modules_) m->eval();
+    for (Module* m : modules_) {
+      if (m->is_combinational()) {
+        m->eval();
+        ++module_evals_;
+      }
+    }
     ++eval_passes_;
     if (ctx_->epoch() == epoch_before) {
       settled_ = true;
@@ -35,8 +50,60 @@ void Simulator::settle() {
       return;
     }
   }
-  throw ConvergenceError(
-      "combinational logic failed to settle; likely a combinational loop");
+  throw_full_sweep_divergence();
+}
+
+void Simulator::settle_event_driven() {
+  if (!settled_) {
+    // Clock edge, reset, late add(), invalidate_settle(), or a policy
+    // switch: register state may have changed behind the wires' backs,
+    // so every combinational module is dirty.
+    sched_.mark_all_dirty();
+  } else if (ambient_epoch() != settled_ambient_epoch_ ||
+             !sched_.epoch_accounted()) {
+    // Ambient writes can't name the wires they touched, and unattributed
+    // context bumps can't name a module: conservatively wake everything.
+    sched_.mark_all_dirty();
+  }
+  // Anything else pending in the worklist arrived module-precise
+  // (notify_state_change on a bound module), so a settle after e.g.
+  // FaultInjector::arm() re-evaluates only that module's cone.
+  if (sched_.has_dirty()) {
+    const std::size_t evals = sched_.drain(kMaxDeltaIterations);
+    module_evals_ += evals;
+    if (evals > 0) ++eval_passes_;
+  }
+  settled_ = true;
+  settled_epoch_ = ctx_->epoch();
+  settled_ambient_epoch_ = ambient_epoch();
+  sched_.sync_epoch();
+}
+
+namespace detail {
+std::string divergence_message(const std::vector<const Module*>& dirty) {
+  std::string msg =
+      "combinational logic failed to settle; likely a combinational loop "
+      "through:";
+  for (const Module* m : dirty) {
+    msg += ' ';
+    msg += m->name();
+  }
+  return msg;
+}
+}  // namespace detail
+
+void Simulator::throw_full_sweep_divergence() {
+  // One extra instrumented pass so the error names the offenders: a
+  // module whose eval still changes the epoch is part of the loop (or
+  // fed by it).
+  std::vector<const Module*> dirty;
+  for (Module* m : modules_) {
+    if (!m->is_combinational()) continue;
+    const std::uint64_t e0 = ctx_->epoch();
+    m->eval();
+    if (ctx_->epoch() != e0) dirty.push_back(m);
+  }
+  throw ConvergenceError(detail::divergence_message(dirty));
 }
 
 void Simulator::step() {
@@ -46,6 +113,30 @@ void Simulator::step() {
   // the ambient context (conservative cross-simulator invalidation), not
   // be misattributed to this simulator.
   for (auto& cb : cycle_callbacks_) cb(cycle_);
+  if (policy_ == sched::SchedPolicy::kEventDriven) {
+    {
+      detail::ActiveContextScope scope(*ctx_);
+      // Write-only trace: wires mutated at the edge (reset callbacks,
+      // forced flushes) wake their eval readers precisely; the many
+      // register-sampling reads in tick() stay untraced and free.
+      detail::WireWriteTraceScope wtrace(sched_);
+      for (Module* m : modules_) m->tick();
+    }
+    // Precise post-edge invalidation: each module reports whether this
+    // edge touched eval-relevant register state (conservative default:
+    // yes). Modules that notify through bound setters during tick (e.g.
+    // the CPU stub writing TMU registers) are already enqueued.
+    for (std::size_t i = 0; i < modules_.size(); ++i) {
+      if (modules_[i]->tick_changed_eval_state()) {
+        sched_.mark_index_dirty(sched_idx_[i]);
+      }
+    }
+    ++cycle_;
+    // settled_ stays true: the worklist plus the scheduler's epoch
+    // accounting carry the edge, so a fully quiet edge settles for free.
+    settle();
+    return;
+  }
   {
     detail::ActiveContextScope scope(*ctx_);
     for (Module* m : modules_) m->tick();

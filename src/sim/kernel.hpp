@@ -4,24 +4,44 @@
 #include <functional>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "sim/context.hpp"
 #include "sim/module.hpp"
+#include "sim/sched/sched.hpp"
 
 namespace sim {
 
 /// Thrown when combinational evaluation fails to converge, which
-/// indicates a (model) combinational loop.
+/// indicates a (model) combinational loop. The message names the modules
+/// still dirty in the final pass.
 class ConvergenceError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
 
+namespace detail {
+/// Shared ConvergenceError message builder: names the still-dirty
+/// modules (the full sweep's diagnostic pass / the event drain's
+/// remaining worklist).
+std::string divergence_message(const std::vector<const Module*>& dirty);
+}  // namespace detail
+
 /// Two-phase cycle-based simulation kernel.
 ///
-/// Per cycle: eval() every module repeatedly until no Wire changes
-/// (bounded by kMaxDeltaIterations), then tick() every module once.
+/// Per cycle: settle combinational logic until no Wire changes (bounded
+/// by kMaxDeltaIterations), then tick() every module once.
+///
+/// Settling follows the configured sched::SchedPolicy:
+///  * kEventDriven (default) — drain a dirty-set worklist: after a clock
+///    edge every combinational module is dirty, and from then on a
+///    value-changing wire write wakes only that wire's reader modules
+///    (sensitivity lists discovered automatically by tracing reads; see
+///    sim/sched/sched.hpp). Settle cost is proportional to activity.
+///  * kFullSweep — repeat full eval passes over every module until no
+///    wire changes (the original kernel), kept for lockstep
+///    cross-checking and bring-up of exotic netlists.
 ///
 /// The kernel caches the settled state: settle() on a netlist that has
 /// already converged — and whose wires are untouched since, tracked via
@@ -42,7 +62,9 @@ class Simulator {
  public:
   static constexpr int kMaxDeltaIterations = 64;
 
-  Simulator() = default;
+  explicit Simulator(
+      sched::SchedPolicy policy = sched::SchedPolicy::kEventDriven)
+      : policy_(policy) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -56,6 +78,7 @@ class Simulator {
   void add(Module& m) {
     m.bind_context(ctx_);
     modules_.push_back(&m);
+    sched_idx_.push_back(sched_.register_module(m));
     settled_ = false;
   }
 
@@ -63,6 +86,16 @@ class Simulator {
   void on_cycle(std::function<void(std::uint64_t)> cb) {
     cycle_callbacks_.push_back(std::move(cb));
   }
+
+  /// Switches the settle scheduling policy. Safe at any point between
+  /// cycles; the next settle() conservatively re-evaluates everything.
+  void set_policy(sched::SchedPolicy p) {
+    if (p != policy_) {
+      policy_ = p;
+      settled_ = false;
+    }
+  }
+  sched::SchedPolicy policy() const { return policy_; }
 
   /// Synchronously resets all modules and the cycle counter.
   void reset();
@@ -83,8 +116,18 @@ class Simulator {
 
   std::uint64_t cycle() const { return cycle_; }
 
-  /// Total full eval passes over all modules since construction.
+  /// Eval convergences since construction. Full sweep: one per full pass
+  /// over the netlist (the historical meaning). Event-driven: one per
+  /// worklist drain that evaluated at least one module — a coarse
+  /// did-settle-do-work signal; see module_evals() for effort.
   std::uint64_t eval_passes() const { return eval_passes_; }
+
+  /// Individual Module::eval() calls since construction (both policies) —
+  /// the activity-proportional cost the event-driven scheduler minimises.
+  std::uint64_t module_evals() const { return module_evals_; }
+
+  /// Event-driven scheduler counters (wires, edges, wakeups, misses).
+  const sched::SchedStats& sched_stats() const { return sched_.stats(); }
 
   /// Discards the cached settled state; the next settle() re-evaluates.
   /// Needed only when module-internal state changes outside tick()/reset()
@@ -97,11 +140,21 @@ class Simulator {
   const SimContext& context() const { return *ctx_; }
 
  private:
+  void settle_full_sweep();
+  void settle_event_driven();
+  [[noreturn]] void throw_full_sweep_divergence();
+
   std::vector<Module*> modules_;
+  std::vector<std::uint32_t> sched_idx_;  ///< parallel to modules_
   std::vector<std::function<void(std::uint64_t)>> cycle_callbacks_;
   std::shared_ptr<SimContext> ctx_ = std::make_shared<SimContext>();
+  // Declared after ctx_: destroyed first, so its dirty-sink detach in
+  // ~EventScheduler always sees a live context.
+  sched::EventScheduler sched_{*ctx_};
+  sched::SchedPolicy policy_;
   std::uint64_t cycle_ = 0;
   std::uint64_t eval_passes_ = 0;
+  std::uint64_t module_evals_ = 0;
   std::uint64_t settled_epoch_ = 0;
   std::uint64_t settled_ambient_epoch_ = 0;
   bool settled_ = false;

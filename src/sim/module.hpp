@@ -29,6 +29,25 @@ class Module {
   virtual void tick() {}
   virtual void reset() {}
 
+  /// Whether eval() can drive wires. Pure sequential sinks (IRQ
+  /// controllers, CPU stubs, monitors/tracers that only sample settled
+  /// wires in tick()) return false so both settle kernels skip them
+  /// entirely. Only override to false when eval() is NOT overridden —
+  /// a combinational output behind a false here would never propagate.
+  virtual bool is_combinational() const { return true; }
+
+  /// Queried by the event-driven scheduler right after every tick():
+  /// may this clock edge have changed state that eval() depends on?
+  /// The conservative default (yes) re-evaluates the module each cycle,
+  /// exactly like the full sweep. Overriders return false only when the
+  /// edge provably left every eval-relevant register untouched — then
+  /// the module's settled outputs are still exact and its post-edge
+  /// re-eval is skipped, which is what makes idle-heavy netlists settle
+  /// in O(activity). Wire writes performed during the tick phase are
+  /// traced separately and wake reader modules regardless of this
+  /// report, so the contract covers non-wire register state only.
+  virtual bool tick_changed_eval_state() const { return true; }
+
   const std::string& name() const { return name_; }
 
   /// Binds the module to a simulator's change-epoch context (called by
@@ -46,12 +65,14 @@ class Module {
   /// Marks eval-relevant module state as changed outside tick()/reset()
   /// — e.g. a testbench calling arm()/set_*() between cycles. Bumps the
   /// bound simulator's epoch so exactly that simulator's settled-state
-  /// cache misses; falls back to the ambient context (invalidating every
-  /// simulator on the thread) when unbound. Wire writes are tracked
-  /// automatically; this is only for state the wires can't see.
+  /// cache misses — and, under an event-driven scheduler, marks exactly
+  /// this module dirty so the next settle re-evaluates only its cone.
+  /// Falls back to the ambient context (invalidating every simulator on
+  /// the thread) when unbound. Wire writes are tracked automatically;
+  /// this is only for state the wires can't see.
   void notify_state_change() {
     if (auto ctx = ctx_.lock()) {
-      ctx->bump();
+      ctx->notify_module(*this);
     } else {
       sim::notify_state_change();
     }

@@ -1,0 +1,155 @@
+#include "sim/sched/sched.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+
+#include "sim/kernel.hpp"
+#include "sim/module.hpp"
+
+namespace sim::sched {
+
+namespace {
+
+/// Scheduler instance tags for wire-slot ownership. Starts at 1 so the
+/// zero-initialised slot of a never-traced wire can never match; 32 bits
+/// of tag space outlive any realistic campaign (a tag is consumed per
+/// Simulator construction, and a stale collision after wrap-around would
+/// only cost a re-discovery, not correctness).
+std::uint64_t next_tag() {
+  static std::atomic<std::uint32_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+EventScheduler::EventScheduler(SimContext& ctx)
+    : ctx_(ctx), tag_(next_tag()) {
+  ctx_.attach_dirty_sink(this);
+}
+
+EventScheduler::~EventScheduler() { ctx_.attach_dirty_sink(nullptr); }
+
+std::uint32_t EventScheduler::register_module(Module& m) {
+  const auto [it, inserted] =
+      index_of_.try_emplace(&m, static_cast<std::uint32_t>(modules_.size()));
+  if (inserted) {
+    modules_.push_back(&m);
+    combinational_.push_back(m.is_combinational() ? 1 : 0);
+    discovered_.push_back(0);
+    read_set_.emplace_back();
+    dirty_.push_back(0);
+  }
+  if (combinational_[it->second] != 0) enqueue(it->second);
+  return it->second;
+}
+
+void EventScheduler::mark_all_dirty() {
+  ++stats_.full_invalidations;
+  for (std::uint32_t i = 0; i < modules_.size(); ++i) {
+    if (combinational_[i] != 0) enqueue(i);
+  }
+}
+
+void EventScheduler::enqueue(std::uint32_t idx) {
+  if (dirty_[idx] == 0) {
+    dirty_[idx] = 1;
+    queue_.push_back(idx);
+  }
+}
+
+std::uint32_t EventScheduler::wire_id(std::uint64_t& slot) {
+  if ((slot >> 32) == tag_) return static_cast<std::uint32_t>(slot);
+  // First sight (or a slot owned by another scheduler — wire-disjointness
+  // makes that a handoff, not sharing): claim it.
+  const std::uint32_t id = n_wires_++;
+  slot = (tag_ << 32) | id;
+  fanout_.emplace_back();
+  stats_.wires = n_wires_;
+  return id;
+}
+
+void EventScheduler::on_wire_read(std::uint64_t& slot) {
+  const std::uint32_t w = wire_id(slot);
+  if (cur_ == kNoModule) return;  // not inside a drained eval
+  auto& rs = read_set_[cur_];
+  if (w >= rs.size()) rs.resize(n_wires_, false);
+  if (!rs[w]) {
+    rs[w] = true;
+    fanout_[w].push_back(cur_);
+    ++stats_.edges;
+    if (discovered_[cur_] != 0) ++stats_.sensitivity_misses;
+  }
+}
+
+void EventScheduler::on_wire_write(std::uint64_t& slot) {
+  absorb_attributed_bump();
+  const std::uint32_t w = wire_id(slot);
+  ++stats_.wire_writes;
+  for (const std::uint32_t reader : fanout_[w]) {
+    if (dirty_[reader] == 0) {
+      dirty_[reader] = 1;
+      queue_.push_back(reader);
+      ++stats_.wakeups;
+    }
+  }
+}
+
+void EventScheduler::on_module_notified(const Module& m) {
+  absorb_attributed_bump();
+  const auto it = index_of_.find(&m);
+  if (it != index_of_.end() && combinational_[it->second] != 0) {
+    enqueue(it->second);
+  }
+  // An unregistered (or tick-only) module's notification leaves the
+  // epoch gap unabsorbed only if the bump wasn't contiguous; for
+  // registered modules the enqueue is the precise invalidation.
+}
+
+void EventScheduler::absorb_attributed_bump() {
+  // Attributed bumps arrive immediately after the epoch increment; only
+  // a contiguous bump may be absorbed, so an unattributed bump hiding
+  // between two attributed ones still leaves a gap and forces the
+  // conservative mark_all_dirty() path in the kernel.
+  if (ctx_.epoch() == accounted_epoch_ + 1) ++accounted_epoch_;
+}
+
+std::size_t EventScheduler::drain(int max_delta_iterations) {
+  detail::WireTraceScope trace(*this);
+  const std::size_t budget =
+      static_cast<std::size_t>(max_delta_iterations) *
+      std::max<std::size_t>(modules_.size(), 1);
+  std::size_t evals = 0;
+  while (head_ < queue_.size()) {
+    if (evals >= budget) throw_divergence();
+    const std::uint32_t m = queue_[head_++];
+    // Clear before eval: a module writing a wire in its own read-set
+    // legitimately re-enqueues itself (a delta iteration).
+    dirty_[m] = 0;
+    cur_ = m;
+    modules_[m]->eval();
+    discovered_[m] = 1;
+    ++evals;
+  }
+  cur_ = kNoModule;
+  queue_.clear();
+  head_ = 0;
+  stats_.module_evals += evals;
+  if (evals > 0) ++stats_.drains;
+  return evals;
+}
+
+void EventScheduler::throw_divergence() {
+  // Leave the scheduler consistent (the still-dirty tail stays queued)
+  // in case the caller catches and retries.
+  queue_.erase(queue_.begin(),
+               queue_.begin() + static_cast<std::ptrdiff_t>(head_));
+  head_ = 0;
+  cur_ = kNoModule;
+  std::vector<const Module*> dirty;
+  dirty.reserve(queue_.size());
+  for (const std::uint32_t m : queue_) dirty.push_back(modules_[m]);
+  throw ConvergenceError(detail::divergence_message(dirty));
+}
+
+}  // namespace sim::sched

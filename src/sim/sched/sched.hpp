@@ -1,0 +1,137 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/context.hpp"
+#include "sim/sched/trace.hpp"
+
+namespace sim {
+class Module;
+}
+
+namespace sim::sched {
+
+/// How Simulator::settle() reaches the combinational fixpoint.
+enum class SchedPolicy {
+  /// Repeat full passes over every registered module until no wire
+  /// changes (the original kernel). Retained for lockstep cross-checking
+  /// against the event-driven scheduler and as the bring-up fallback.
+  kFullSweep,
+  /// Drain a dirty-set worklist: a value-changing wire write enqueues
+  /// only that wire's reader modules, so settle cost is proportional to
+  /// activity (toggled wires) instead of netlist size.
+  kEventDriven,
+};
+
+inline const char* to_string(SchedPolicy p) {
+  return p == SchedPolicy::kFullSweep ? "full_sweep" : "event_driven";
+}
+
+/// Scheduler observability counters (event-driven mode).
+struct SchedStats {
+  std::uint64_t module_evals = 0;        ///< eval() calls run by drains
+  std::uint64_t drains = 0;              ///< drains that evaluated >=1 module
+  std::uint64_t wire_writes = 0;         ///< value-changing writes observed
+  std::uint64_t wakeups = 0;             ///< modules enqueued by wire writes
+  std::uint64_t sensitivity_misses = 0;  ///< edges learned after discovery
+  std::uint64_t full_invalidations = 0;  ///< mark_all_dirty() calls
+  std::size_t wires = 0;                 ///< wires in the registry
+  std::size_t edges = 0;                 ///< wire→module fan-out edges
+};
+
+/// Event-driven settle scheduler for one Simulator.
+///
+/// Wires get a dense identity lazily, on first traced access, via the
+/// owner-tagged slot embedded in Wire (sim/sched/trace.hpp). Every eval
+/// the scheduler runs is traced, so each module's read-set (sensitivity
+/// list) is discovered automatically on its first eval and kept a
+/// superset of the true dependency set forever after: a module whose
+/// read-set changes at runtime is only ever re-evaluated because a wire
+/// it previously read changed, and that traced re-eval records the new
+/// edges (counted as sensitivity misses) before they can be needed.
+/// Read-sets are inverted on the fly into per-wire fan-out lists; a
+/// value-changing write wakes exactly the reader modules.
+///
+/// Epoch accounting: the scheduler absorbs context-epoch bumps it can
+/// attribute (traced wire writes, module notifications) by tracking the
+/// last accounted epoch. Any unattributed bump — testbench code poking
+/// the context directly — leaves a gap, and the kernel falls back to
+/// mark_all_dirty() on the next settle. Correctness therefore never
+/// depends on attribution; precision does.
+class EventScheduler final : public detail::WireTrace,
+                             public SimContext::DirtySink {
+ public:
+  explicit EventScheduler(SimContext& ctx);
+  ~EventScheduler();
+
+  EventScheduler(const EventScheduler&) = delete;
+  EventScheduler& operator=(const EventScheduler&) = delete;
+
+  /// Registers a module (idempotent) and marks it dirty; returns its
+  /// dense index for O(1) dirty-marking. Registration order is the
+  /// drain's tie-break order, mirroring the full sweep.
+  std::uint32_t register_module(Module& m);
+
+  /// Enqueues every combinational module (resets, external writes,
+  /// policy switches — anything that can change state behind the wires'
+  /// backs and can't name the affected modules).
+  void mark_all_dirty();
+
+  /// Enqueues one module by its register_module() index (no-op for
+  /// tick-only modules). The kernel's precise post-edge invalidation.
+  void mark_index_dirty(std::uint32_t idx) {
+    if (combinational_[idx] != 0) enqueue(idx);
+  }
+
+  bool has_dirty() const { return head_ != queue_.size(); }
+
+  /// True when every context-epoch bump since the last sync is accounted
+  /// for by an attributed (module-precise) invalidation.
+  bool epoch_accounted() const { return ctx_.epoch() == accounted_epoch_; }
+  void sync_epoch() { accounted_epoch_ = ctx_.epoch(); }
+
+  /// Drains the worklist to quiescence; returns the number of module
+  /// evals run. Eval budget mirrors the full sweep's worst case
+  /// (max_delta_iterations passes over the whole netlist); on exhaustion
+  /// throws ConvergenceError naming the modules still dirty.
+  std::size_t drain(int max_delta_iterations);
+
+  const SchedStats& stats() const { return stats_; }
+
+ private:
+  static constexpr std::uint32_t kNoModule = 0xFFFF'FFFFu;
+
+  void on_wire_read(std::uint64_t& slot) override;
+  void on_wire_write(std::uint64_t& slot) override;
+  void on_module_notified(const Module& m) override;
+
+  std::uint32_t wire_id(std::uint64_t& slot);
+  void enqueue(std::uint32_t idx);
+  void absorb_attributed_bump();
+  [[noreturn]] void throw_divergence();
+
+  SimContext& ctx_;
+  const std::uint64_t tag_;  ///< this scheduler's wire-slot owner tag
+
+  std::vector<Module*> modules_;
+  std::unordered_map<const Module*, std::uint32_t> index_of_;
+  std::vector<char> combinational_;
+  std::vector<char> discovered_;  ///< first traced eval completed
+
+  std::vector<std::vector<bool>> read_set_;          ///< [module][wire]
+  std::vector<std::vector<std::uint32_t>> fanout_;   ///< [wire] → modules
+
+  std::vector<char> dirty_;
+  std::vector<std::uint32_t> queue_;  ///< FIFO worklist
+  std::size_t head_ = 0;
+  std::uint32_t cur_ = kNoModule;  ///< module being evaluated by drain()
+
+  std::uint32_t n_wires_ = 0;
+  std::uint64_t accounted_epoch_ = 0;
+  SchedStats stats_;
+};
+
+}  // namespace sim::sched

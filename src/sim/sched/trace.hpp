@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+
+namespace sim::detail {
+
+/// Wire-access trace hooks. A scheduler installs itself thread_locally
+/// (WireTraceScope) only while it is evaluating modules, so untraced
+/// simulation pays exactly one predictable branch per wire access.
+///
+/// The `slot` passed to both callbacks is the wire's embedded identity
+/// cell (Wire::sched_slot_): the upper 32 bits carry the owning
+/// scheduler's instance tag, the lower 32 bits the wire's dense id in
+/// that scheduler's registry. A slot whose tag differs from the active
+/// scheduler's (zero-initialised wires, wires last seen by a destroyed
+/// scheduler, wires migrated between simulators) is simply re-assigned,
+/// so wire identity needs no central bookkeeping and no cleanup.
+class WireTrace {
+ public:
+  /// A module evaluated under this trace read the wire.
+  virtual void on_wire_read(std::uint64_t& slot) = 0;
+  /// A write changed the wire's value (called after the change-epoch
+  /// bump, still under the writer's ActiveContextScope).
+  virtual void on_wire_write(std::uint64_t& slot) = 0;
+
+ protected:
+  ~WireTrace() = default;
+};
+
+/// The traces active on this thread, or nullptr when nothing records
+/// that kind of wire access (the common case: full-sweep settles,
+/// testbench code). Reads and writes are gated separately: an
+/// event-driven drain traces both (sensitivity discovery + wakeups),
+/// while the tick phase traces only writes (wakeups for wires mutated
+/// at the clock edge) so the many register-sampling reads in tick()
+/// stay free.
+inline thread_local WireTrace* t_wire_read_trace = nullptr;
+inline thread_local WireTrace* t_wire_write_trace = nullptr;
+
+/// RAII installation of a read+write trace (drain scope). Nestable and
+/// exception-safe, mirroring ActiveContextScope: a ConvergenceError
+/// thrown mid-drain must not leave a dangling trace behind.
+class WireTraceScope {
+ public:
+  explicit WireTraceScope(WireTrace& t)
+      : prev_read_(t_wire_read_trace), prev_write_(t_wire_write_trace) {
+    t_wire_read_trace = &t;
+    t_wire_write_trace = &t;
+  }
+  ~WireTraceScope() {
+    t_wire_read_trace = prev_read_;
+    t_wire_write_trace = prev_write_;
+  }
+
+  WireTraceScope(const WireTraceScope&) = delete;
+  WireTraceScope& operator=(const WireTraceScope&) = delete;
+
+ private:
+  WireTrace* prev_read_;
+  WireTrace* prev_write_;
+};
+
+/// RAII installation of a write-only trace (tick scope).
+class WireWriteTraceScope {
+ public:
+  explicit WireWriteTraceScope(WireTrace& t) : prev_(t_wire_write_trace) {
+    t_wire_write_trace = &t;
+  }
+  ~WireWriteTraceScope() { t_wire_write_trace = prev_; }
+
+  WireWriteTraceScope(const WireWriteTraceScope&) = delete;
+  WireWriteTraceScope& operator=(const WireWriteTraceScope&) = delete;
+
+ private:
+  WireTrace* prev_;
+};
+
+}  // namespace sim::detail

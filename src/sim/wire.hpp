@@ -1,8 +1,10 @@
 #pragma once
 
+#include <cstdint>
 #include <utility>
 
 #include "sim/context.hpp"
+#include "sim/sched/trace.hpp"
 
 namespace sim {
 
@@ -14,19 +16,37 @@ namespace sim {
 /// changes the value bumps the epoch of the simulator currently
 /// evaluating on this thread, or the thread-ambient context when no
 /// simulator is active.
+///
+/// Scheduling identity: while an event-driven scheduler traces wire
+/// accesses (sim/sched/trace.hpp), reads record a module→wire
+/// sensitivity edge and value-changing writes wake the wire's reader
+/// modules. The identity cell `sched_slot_` is assigned lazily by the
+/// scheduler on first traced access; wires are non-copyable so the cell
+/// can never be duplicated.
 template <typename T>
 class Wire {
  public:
   Wire() = default;
   explicit Wire(T init) : value_(std::move(init)) {}
 
-  const T& read() const { return value_; }
+  Wire(const Wire&) = delete;
+  Wire& operator=(const Wire&) = delete;
+
+  const T& read() const {
+    if (detail::t_wire_read_trace != nullptr) {
+      detail::t_wire_read_trace->on_wire_read(sched_slot_);
+    }
+    return value_;
+  }
 
   /// Writes v; bumps the attributed change epoch iff the value differs.
   void write(const T& v) {
     if (!(v == value_)) {
       value_ = v;
       detail::bump_change_epoch();
+      if (detail::t_wire_write_trace != nullptr) {
+        detail::t_wire_write_trace->on_wire_write(sched_slot_);
+      }
     }
   }
 
@@ -39,11 +59,15 @@ class Wire {
     if (!(v == value_)) {
       value_ = std::move(v);
       detail::bump_change_epoch();
+      if (detail::t_wire_write_trace != nullptr) {
+        detail::t_wire_write_trace->on_wire_write(sched_slot_);
+      }
     }
   }
 
  private:
   T value_{};
+  mutable std::uint64_t sched_slot_ = 0;
 };
 
 }  // namespace sim

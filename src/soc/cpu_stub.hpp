@@ -25,6 +25,10 @@ class CpuRecoveryStub : public sim::Module {
         tmus_(std::move(tmus)),
         handler_latency_(handler_latency) {}
 
+  /// Runs its handler state machine in tick() only; schedulers skip it
+  /// in settle.
+  bool is_combinational() const override { return false; }
+
   void tick() override {
     switch (state_) {
       case State::kIdle: {

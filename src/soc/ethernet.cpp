@@ -66,6 +66,7 @@ void EthernetPeripheral::tick() {
     clear_pending_ = false;
     ++hw_resets_;
     ++cycle_;
+    tick_evt_ = true;  // FIFOs/queues flushed: outputs may drop
     return;
   }
 
@@ -119,6 +120,13 @@ void EthernetPeripheral::tick() {
   }
 
   ++cycle_;
+  // Edge activity: handshakes mutate the queues, pending B/R entries
+  // ripen against cycle_, and a non-empty TX FIFO keeps draining into
+  // RX (moving the MMIO counters and the w_ready backpressure).
+  tick_evt_ = axi::aw_fire(q, s) || axi::w_fire(q, s) || axi::b_fire(q, s) ||
+              axi::ar_fire(q, s) || axi::r_fire(q, s) || q.aw_valid ||
+              q.w_valid || q.ar_valid || !write_q_.empty() ||
+              !b_q_.empty() || !read_q_.empty() || !tx_fifo_.empty();
 }
 
 void EthernetPeripheral::reset() {

@@ -40,6 +40,7 @@ class EthernetPeripheral : public sim::Module {
   void eval() override;
   void tick() override;
   void reset() override;
+  bool tick_changed_eval_state() const override { return tick_evt_; }
 
   /// External hardware reset (from the reset unit): clears FIFOs and all
   /// in-flight transaction state; counters survive (MMIO-visible).
@@ -90,6 +91,7 @@ class EthernetPeripheral : public sim::Module {
   std::uint64_t reads_done_ = 0;
   std::uint64_t hw_resets_ = 0;
   std::uint64_t cycle_ = 0;
+  bool tick_evt_ = true;  ///< last tick touched eval-relevant state
   bool clear_pending_ = false;
 };
 

@@ -49,6 +49,7 @@ void IdmaEngine::eval() {
 void IdmaEngine::tick() {
   const axi::AxiReq q = link_.req.read();
   const axi::AxiRsp s = link_.rsp.read();
+  const State s0 = state_;
 
   switch (state_) {
     case State::kIdle:
@@ -94,6 +95,10 @@ void IdmaEngine::tick() {
       }
       break;
   }
+  // Edge activity: anything but an idle->idle edge with an empty
+  // descriptor queue can move the engine's request outputs.
+  tick_evt_ = s0 != State::kIdle || state_ != State::kIdle ||
+              !queue_.empty();
 }
 
 void IdmaEngine::reset() {

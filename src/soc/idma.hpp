@@ -46,6 +46,7 @@ class IdmaEngine : public sim::Module {
   void eval() override;
   void tick() override;
   void reset() override;
+  bool tick_changed_eval_state() const override { return tick_evt_; }
 
  private:
   enum class State {
@@ -75,6 +76,7 @@ class IdmaEngine : public sim::Module {
   std::uint64_t descriptors_done_ = 0;
   std::uint64_t beats_moved_ = 0;
   std::uint64_t error_responses_ = 0;
+  bool tick_evt_ = true;  ///< last tick touched eval-relevant state
 };
 
 }  // namespace soc

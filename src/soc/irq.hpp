@@ -16,6 +16,9 @@ class IrqController : public sim::Module {
  public:
   explicit IrqController(std::string name) : sim::Module(std::move(name)) {}
 
+  /// Latches level sources in tick() only; schedulers skip it in settle.
+  bool is_combinational() const override { return false; }
+
   /// Registers an interrupt source; returns its source id.
   std::size_t add_source(sim::Wire<bool>& w) {
     sources_.push_back(&w);

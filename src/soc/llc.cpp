@@ -160,6 +160,11 @@ void LastLevelCache::tick() {
   }
 
   ++cycle_;
+  // Edge activity: tick state only mutates on handshakes (valids
+  // required), and non-empty queues ripen against cycle_ (hit latency).
+  tick_evt_ = !hit_q_.empty() || !miss_q_.empty() || !open_writes_.empty() ||
+              uq.aw_valid || uq.w_valid || uq.ar_valid || us.b_valid ||
+              us.r_valid || ds.b_valid || ds.r_valid;
 }
 
 void LastLevelCache::reset() {

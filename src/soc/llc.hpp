@@ -42,6 +42,7 @@ class LastLevelCache : public sim::Module {
   void eval() override;
   void tick() override;
   void reset() override;
+  bool tick_changed_eval_state() const override { return tick_evt_; }
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
@@ -93,6 +94,7 @@ class LastLevelCache : public sim::Module {
   std::vector<OpenWrite> open_writes_;  ///< write-through beat tracking
   std::uint64_t hits_ = 0, misses_ = 0;
   std::uint64_t cycle_ = 0;
+  bool tick_evt_ = true;  ///< last tick touched eval-relevant state
 };
 
 }  // namespace soc

@@ -26,6 +26,7 @@ class ResetUnit : public sim::Module {
   void eval() override { ack_.write(state_ == State::kAck); }
 
   void tick() override {
+    const State s0 = state_;
     switch (state_) {
       case State::kIdle:
         if (req_.read()) {
@@ -42,7 +43,10 @@ class ResetUnit : public sim::Module {
         if (!req_.read()) state_ = State::kIdle;
         break;
     }
+    tick_evt_ = state_ != s0;  // eval() is a pure function of state_
   }
+
+  bool tick_changed_eval_state() const override { return tick_evt_; }
 
   void reset() override {
     state_ = State::kIdle;
@@ -65,6 +69,7 @@ class ResetUnit : public sim::Module {
   State state_ = State::kIdle;
   std::uint32_t count_ = 0;
   std::uint64_t resets_performed_ = 0;
+  bool tick_evt_ = true;
 };
 
 }  // namespace soc

@@ -42,9 +42,15 @@ class TmuMmio : public sim::Module {
     link_.rsp.write(s);
   }
 
+  bool tick_changed_eval_state() const override { return tick_evt_; }
+
   void tick() override {
     const axi::AxiReq q = link_.req.read();
     const axi::AxiRsp s = link_.rsp.read();
+    // Edge activity: register-file state only moves on handshakes or
+    // while a burst window is open.
+    tick_evt_ = w_open_ || b_pending_ || r_open_ || q.aw_valid ||
+                q.w_valid || q.ar_valid;
 
     if (axi::aw_fire(q, s)) {
       w_open_ = true;
@@ -113,6 +119,7 @@ class TmuMmio : public sim::Module {
   axi::Data r_data_ = 0;
 
   std::uint64_t reg_reads_ = 0, reg_writes_ = 0;
+  bool tick_evt_ = true;  ///< last tick touched eval-relevant state
 };
 
 }  // namespace soc

@@ -107,11 +107,17 @@ void Tmu::finish_recovery() {
 void Tmu::tick() {
   if (!cfg_.enabled) {
     ++cycle_;
+    tick_evt_ = false;  // eval() is a pure wire pass-through
     return;
   }
 
   const axi::AxiReq q = mst_.req.read();
   const axi::AxiRsp s = mst_.rsp.read();
+  // Severed/scrub phases mutate eval state every edge; in normal
+  // monitoring, only port activity or outstanding transactions (whose
+  // budgets ripen against the cycle counter and whose saturation gates
+  // admission) can move eval() outputs.
+  tick_evt_ = true;
 
   if (severed_) {
     // Track abort handshakes.
@@ -176,6 +182,9 @@ void Tmu::tick() {
   }
 
   ++cycle_;
+  tick_evt_ = severed_ || q.aw_valid || q.w_valid || q.ar_valid ||
+              s.b_valid || s.r_valid || !wg_.ott().order().empty() ||
+              !rg_.ott().order().empty();
 }
 
 void Tmu::reset() {

@@ -38,6 +38,7 @@ class Tmu : public sim::Module {
   void eval() override;
   void tick() override;
   void reset() override;
+  bool tick_changed_eval_state() const override { return tick_evt_; }
 
   // ---- fault / recovery interface ----
   sim::Wire<bool> irq;        ///< level interrupt to the PLIC / CPU
@@ -109,6 +110,7 @@ class Tmu : public sim::Module {
   std::uint64_t resets_requested_ = 0;
   std::uint64_t recoveries_ = 0;
   std::uint64_t cycle_ = 0;
+  bool tick_evt_ = true;  ///< last tick touched eval-relevant state
   bool irq_latched_ = false;        ///< level interrupt, cleared by sw
   std::size_t fault_read_ptr_ = 0;  ///< regfile FAULT_FIFO cursor
 };

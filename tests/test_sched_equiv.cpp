@@ -1,0 +1,324 @@
+// Scheduler-equivalence lockstep fuzz: the event-driven dirty-set
+// scheduler must be cycle-exact against the full-sweep kernel. Two
+// identically seeded netlists — the paper's IP-level fault testbench
+// and the full Cheshire SoC — run in lockstep under
+// SchedPolicy::kFullSweep and SchedPolicy::kEventDriven; every cycle,
+// every reachable wire and every observable campaign outcome (fault
+// detection, recovery, completed traffic) must match exactly.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "axi/link.hpp"
+#include "axi/memory.hpp"
+#include "axi/traffic_gen.hpp"
+#include "fault/injector.hpp"
+#include "sim/kernel.hpp"
+#include "sim/random.hpp"
+#include "soc/cheshire.hpp"
+#include "soc/reset_unit.hpp"
+#include "tmu/tmu.hpp"
+
+namespace {
+
+using sim::sched::SchedPolicy;
+
+// The Fig. 8/9 IP-level testbench (mirrors campaign::run_fault_trial):
+// gen -> [mgr injector] -> TMU -> [sub injector] -> memory, plus the
+// external reset unit. Every wire is reachable for exact comparison.
+struct IpNetlist {
+  axi::Link l_gen, l_tmu_mst, l_tmu_sub, l_mem;
+  axi::TrafficGenerator gen;
+  fault::FaultInjector inj_m{"inj_m", l_gen, l_tmu_mst};
+  tmu::Tmu tmu;
+  fault::FaultInjector inj_s{"inj_s", l_tmu_sub, l_mem};
+  axi::MemorySubordinate mem{"mem", l_mem};
+  soc::ResetUnit rst;
+  sim::Simulator s;
+
+  IpNetlist(SchedPolicy policy, std::uint64_t seed,
+            const tmu::TmuConfig& cfg)
+      : gen("gen", l_gen, seed),
+        tmu("tmu", l_tmu_mst, l_tmu_sub, cfg),
+        rst("rst", tmu.reset_req, tmu.reset_ack, [this] { mem.hw_reset(); }),
+        s(policy) {
+    s.add(gen);
+    s.add(inj_m);
+    s.add(tmu);
+    s.add(inj_s);
+    s.add(mem);
+    s.add(rst);
+    s.reset();
+  }
+
+  fault::FaultInjector& injector_for(fault::FaultPoint p) {
+    return fault::is_manager_side(p) ? inj_m : inj_s;
+  }
+};
+
+void expect_links_equal(const axi::Link& a, const axi::Link& b,
+                        const char* which, std::uint64_t cycle) {
+  EXPECT_TRUE(a.req.read() == b.req.read())
+      << which << ".req diverged at cycle " << cycle;
+  EXPECT_TRUE(a.rsp.read() == b.rsp.read())
+      << which << ".rsp diverged at cycle " << cycle;
+}
+
+// Compares every wire of the two IP netlists.
+void expect_wires_equal(const IpNetlist& a, const IpNetlist& b,
+                        std::uint64_t cycle) {
+  expect_links_equal(a.l_gen, b.l_gen, "l_gen", cycle);
+  expect_links_equal(a.l_tmu_mst, b.l_tmu_mst, "l_tmu_mst", cycle);
+  expect_links_equal(a.l_tmu_sub, b.l_tmu_sub, "l_tmu_sub", cycle);
+  expect_links_equal(a.l_mem, b.l_mem, "l_mem", cycle);
+  EXPECT_EQ(a.tmu.irq.read(), b.tmu.irq.read()) << "irq @" << cycle;
+  EXPECT_EQ(a.tmu.reset_req.read(), b.tmu.reset_req.read())
+      << "reset_req @" << cycle;
+  EXPECT_EQ(a.tmu.reset_ack.read(), b.tmu.reset_ack.read())
+      << "reset_ack @" << cycle;
+}
+
+// One fuzzed lockstep scenario: random traffic, one random fault
+// armed/disarmed at random cycles, compared wire-for-wire every cycle.
+void run_ip_lockstep(std::uint64_t seed) {
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  sim::Rng rng(seed);
+
+  tmu::TmuConfig cfg;
+  cfg.adaptive.enabled = rng.chance(0.5);
+  if (rng.chance(0.3)) {
+    cfg.variant = tmu::Variant::kTinyCounter;
+    cfg.tc_total_budget = 200;
+  }
+
+  IpNetlist full(SchedPolicy::kFullSweep, seed, cfg);
+  IpNetlist event(SchedPolicy::kEventDriven, seed, cfg);
+
+  axi::RandomTrafficConfig rc;
+  rc.enabled = true;
+  rc.p_new_txn = 0.3;
+  rc.len_max = 7;
+  full.gen.set_random(rc);
+  event.gen.set_random(rc);
+
+  // One fault point drawn per scenario, armed mid-run, disarmed later.
+  constexpr fault::FaultPoint kPoints[] = {
+      fault::FaultPoint::kAwReadyStuck, fault::FaultPoint::kWReadyStuck,
+      fault::FaultPoint::kBValidStuck,  fault::FaultPoint::kRValidStuck,
+      fault::FaultPoint::kWValidStuck,  fault::FaultPoint::kSpuriousB,
+  };
+  const fault::FaultPoint point =
+      kPoints[rng.range(0, (sizeof(kPoints) / sizeof(kPoints[0])) - 1)];
+  const std::uint64_t arm_at = rng.range(50, 300);
+  const std::uint64_t disarm_at = arm_at + rng.range(300, 900);
+  // After recovery, drop to a fully idle stretch (traffic off, netlist
+  // drains) and back: the precise post-edge invalidation (per-module
+  // tick_changed_eval_state reports) must stay exact through busy→idle
+  // and idle→busy transitions.
+  const std::uint64_t quiet_at = disarm_at + 500;
+  const std::uint64_t resume_at = quiet_at + 400;
+  const std::uint64_t total = resume_at + 500;
+
+  for (std::uint64_t c = 0; c < total; ++c) {
+    if (c == arm_at) {
+      full.injector_for(point).arm(point, arm_at);
+      event.injector_for(point).arm(point, arm_at);
+    }
+    if (c == disarm_at) {
+      full.injector_for(point).disarm();
+      event.injector_for(point).disarm();
+    }
+    if (c == quiet_at) {
+      axi::RandomTrafficConfig off;
+      off.enabled = false;
+      full.gen.set_random(off);
+      event.gen.set_random(off);
+    }
+    if (c == resume_at) {
+      full.gen.set_random(rc);
+      event.gen.set_random(rc);
+    }
+    full.s.step();
+    event.s.step();
+    ASSERT_EQ(full.s.cycle(), event.s.cycle());
+    expect_wires_equal(full, event, c);
+    ASSERT_EQ(full.tmu.any_fault(), event.tmu.any_fault())
+        << "detection diverged at cycle " << c;
+    ASSERT_EQ(full.tmu.recoveries(), event.tmu.recoveries())
+        << "recovery diverged at cycle " << c;
+    ASSERT_EQ(full.gen.completed(), event.gen.completed())
+        << "traffic diverged at cycle " << c;
+    if (::testing::Test::HasFailure()) return;  // stop at first divergence
+  }
+
+  // Campaign outcome: the fault was detected and recovered identically.
+  EXPECT_EQ(full.tmu.fault_log().size(), event.tmu.fault_log().size());
+  if (!full.tmu.fault_log().empty() && !event.tmu.fault_log().empty()) {
+    EXPECT_EQ(full.tmu.fault_log().front().cycle,
+              event.tmu.fault_log().front().cycle);
+  }
+  EXPECT_EQ(full.gen.data_mismatches(), event.gen.data_mismatches());
+  EXPECT_EQ(full.gen.error_responses(), event.gen.error_responses());
+  // The event-driven run must not have done MORE eval work than the
+  // sweep — the whole point of the scheduler.
+  EXPECT_LE(event.s.module_evals(), full.s.module_evals());
+}
+
+TEST(SchedEquiv, IpLevelLockstepFuzz) {
+  for (std::uint64_t seed : {1ull, 7ull, 42ull, 1234ull, 0xC0FFEEull}) {
+    run_ip_lockstep(seed);
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+// Full-SoC lockstep: the paper's Cheshire-style system (two CVA6
+// stand-ins, iDMA, crossbar, LLC/DRAM, two TMUs, injectors, reset
+// units, PLIC, CPU recovery stub) under both policies, including a
+// detect/recover campaign on the Ethernet endpoint and the peripheral.
+TEST(SchedEquiv, CheshireSocLockstepWithFaultCampaign) {
+  tmu::TmuConfig cfg;
+  cfg.adaptive.enabled = true;
+
+  soc::CheshireSystem full(cfg);
+  soc::CheshireSystem event(cfg);
+  full.sim().set_policy(SchedPolicy::kFullSweep);
+  event.sim().set_policy(SchedPolicy::kEventDriven);
+
+  axi::RandomTrafficConfig rc;
+  rc.enabled = true;
+  rc.p_new_txn = 0.25;
+  rc.addr_min = soc::CheshireMap::kDramBase;
+  rc.addr_max = soc::CheshireMap::kDramBase + 0xFFF8;
+  for (soc::CheshireSystem* sys : {&full, &event}) {
+    sys->cva6_0().set_random(rc);
+    // cva6_1 exercises the peripheral so the second (Tiny-Counter) TMU's
+    // campaign is hit too.
+    axi::RandomTrafficConfig periph_rc = rc;
+    periph_rc.p_new_txn = 0.15;
+    periph_rc.addr_min = soc::CheshireMap::kPeriphBase;
+    periph_rc.addr_max = soc::CheshireMap::kPeriphBase +
+                         soc::CheshireMap::kPeriphSize - 8;
+    sys->cva6_1().set_random(periph_rc);
+    axi::RandomTrafficConfig eth_rc = rc;
+    eth_rc.p_new_txn = 0.1;
+    eth_rc.addr_min = soc::CheshireMap::kEthTxWindow;
+    eth_rc.addr_max = soc::CheshireMap::kEthBase +
+                      soc::CheshireMap::kEthSize - 8;
+    sys->idma().set_random(eth_rc);
+  }
+
+  constexpr std::uint64_t kArmAt = 400;
+  constexpr std::uint64_t kDisarmAt = 1400;
+  constexpr std::uint64_t kTotal = 3000;
+  for (std::uint64_t c = 0; c < kTotal; ++c) {
+    if (c == kArmAt) {
+      full.eth_side_injector().arm(fault::FaultPoint::kBValidStuck, kArmAt);
+      event.eth_side_injector().arm(fault::FaultPoint::kBValidStuck, kArmAt);
+      full.periph_injector().arm(fault::FaultPoint::kArReadyStuck, kArmAt);
+      event.periph_injector().arm(fault::FaultPoint::kArReadyStuck, kArmAt);
+    }
+    if (c == kDisarmAt) {
+      full.eth_side_injector().disarm();
+      event.eth_side_injector().disarm();
+      full.periph_injector().disarm();
+      event.periph_injector().disarm();
+    }
+    full.sim().step();
+    event.sim().step();
+
+    // Reachable wires and campaign-visible state, every cycle.
+    ASSERT_EQ(full.tmu().irq.read(), event.tmu().irq.read()) << "@" << c;
+    ASSERT_EQ(full.tmu().reset_req.read(), event.tmu().reset_req.read())
+        << "@" << c;
+    ASSERT_EQ(full.periph_tmu().irq.read(), event.periph_tmu().irq.read())
+        << "@" << c;
+    ASSERT_EQ(full.tmu().any_fault(), event.tmu().any_fault()) << "@" << c;
+    ASSERT_EQ(full.tmu().recoveries(), event.tmu().recoveries()) << "@" << c;
+    ASSERT_EQ(full.periph_tmu().recoveries(),
+              event.periph_tmu().recoveries())
+        << "@" << c;
+    ASSERT_EQ(full.cva6_0().completed(), event.cva6_0().completed())
+        << "@" << c;
+    ASSERT_EQ(full.cva6_1().completed(), event.cva6_1().completed())
+        << "@" << c;
+    ASSERT_EQ(full.idma().completed(), event.idma().completed()) << "@" << c;
+    ASSERT_EQ(full.cpu().irqs_handled(), event.cpu().irqs_handled())
+        << "@" << c;
+  }
+
+  // The campaign must actually have exercised detection and recovery —
+  // equivalence over an idle run would prove much less.
+  EXPECT_TRUE(full.tmu().any_fault());
+  EXPECT_GE(full.tmu().recoveries(), 1u);
+  EXPECT_TRUE(full.periph_tmu().any_fault());
+  EXPECT_EQ(full.tmu().fault_log().size(), event.tmu().fault_log().size());
+  EXPECT_GT(full.cva6_0().completed(), 0u);
+
+  // And the event-driven kernel must have earned its keep on eval work.
+  EXPECT_LT(event.sim().module_evals(), full.sim().module_evals());
+}
+
+// The headline property of the event-driven scheduler: a fully idle
+// netlist (no traffic, nothing armed, everything drained) settles for
+// free — zero module evals per cycle — while behaving identically.
+TEST(SchedEquiv, IdleNetlistSettlesForFree) {
+  tmu::TmuConfig cfg;
+  cfg.adaptive.enabled = true;
+  IpNetlist idle(SchedPolicy::kEventDriven, 3, cfg);
+  idle.s.run(3);  // let any post-reset ripples die out
+  const std::uint64_t e0 = idle.s.module_evals();
+  idle.s.run(50);
+  EXPECT_EQ(idle.s.module_evals() - e0, 0u);
+
+  // The same netlist still reacts instantly: queue one transaction and
+  // it completes just as under the full sweep.
+  IpNetlist ref(SchedPolicy::kFullSweep, 3, cfg);
+  ref.s.run(53);
+  axi::TxnDesc d;
+  d.is_write = true;
+  d.addr = 0x100;
+  d.len = 3;
+  idle.gen.push(d);
+  ref.gen.push(d);
+  for (int c = 0; c < 100; ++c) {
+    idle.s.step();
+    ref.s.step();
+    expect_wires_equal(ref, idle, ref.s.cycle());
+    if (::testing::Test::HasFailure()) return;
+  }
+  EXPECT_EQ(idle.gen.completed(), 1u);
+  EXPECT_EQ(ref.gen.completed(), 1u);
+}
+
+// The settled-cache interplay: interleaved settles, notifies and policy
+// switches on the same netlist never desynchronise the two worlds.
+TEST(SchedEquiv, PolicyTogglingMatchesReference) {
+  tmu::TmuConfig cfg;
+  IpNetlist ref(SchedPolicy::kFullSweep, 99, cfg);
+  IpNetlist tog(SchedPolicy::kEventDriven, 99, cfg);
+
+  axi::RandomTrafficConfig rc;
+  rc.enabled = true;
+  rc.p_new_txn = 0.4;
+  ref.gen.set_random(rc);
+  tog.gen.set_random(rc);
+
+  sim::Rng rng(5);
+  for (int chunk = 0; chunk < 40; ++chunk) {
+    const std::uint64_t n = rng.range(1, 25);
+    ref.s.run(n);
+    // Toggle the policy mid-run on the device under test.
+    tog.s.set_policy(chunk % 2 == 0 ? SchedPolicy::kFullSweep
+                                    : SchedPolicy::kEventDriven);
+    tog.s.run(n);
+    ASSERT_EQ(ref.s.cycle(), tog.s.cycle());
+    expect_wires_equal(ref, tog, ref.s.cycle());
+    ASSERT_EQ(ref.gen.completed(), tog.gen.completed());
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+}  // namespace

@@ -67,7 +67,9 @@ struct Counter {
   Inc inc{"inc", q, d};
   sim::Simulator s;
 
-  Counter() {
+  explicit Counter(
+      sim::sched::SchedPolicy p = sim::sched::SchedPolicy::kEventDriven)
+      : s(p) {
     s.add(inc);
     s.add(flop);
     s.reset();
@@ -93,9 +95,28 @@ TEST(SimEpoch, SteppingOneSimulatorKeepsTheOtherSettled) {
 
 TEST(SimEpoch, InterleavedSteppingStaysSingleConvergence) {
   // The regression the global epoch caused: interleaving two simulators
-  // forced a full re-settle per step. Per-context tracking restores the
-  // pinned 3-passes-per-cycle budget for both.
+  // forced a full re-settle per step. Per-context tracking keeps both on
+  // the pinned per-cycle budget: one worklist drain of 3 module evals
+  // under the event-driven default.
   Counter a, b;
+  const std::uint64_t a0 = a.s.eval_passes();
+  const std::uint64_t b0 = b.s.eval_passes();
+  const std::uint64_t ae0 = a.s.module_evals();
+  const std::uint64_t be0 = b.s.module_evals();
+  for (int i = 0; i < 10; ++i) {
+    a.s.step();
+    b.s.step();
+  }
+  EXPECT_EQ(a.s.eval_passes() - a0, 10u);
+  EXPECT_EQ(b.s.eval_passes() - b0, 10u);
+  EXPECT_EQ(a.s.module_evals() - ae0, 30u);
+  EXPECT_EQ(b.s.module_evals() - be0, 30u);
+}
+
+TEST(SimEpoch, InterleavedSteppingStaysSingleConvergenceFullSweep) {
+  // Same pin under the legacy scheduler: 3 full passes per cycle.
+  Counter a(sim::sched::SchedPolicy::kFullSweep);
+  Counter b(sim::sched::SchedPolicy::kFullSweep);
   const std::uint64_t a0 = a.s.eval_passes();
   const std::uint64_t b0 = b.s.eval_passes();
   for (int i = 0; i < 10; ++i) {
@@ -233,16 +254,18 @@ TEST(SimEpoch, SimulatorsOnSeparateThreadsRunIndependently) {
   for (int t = 0; t < kThreads; ++t) {
     pool.emplace_back([t, &finals, &passes] {
       Counter c;
-      const std::uint64_t p0 = c.s.eval_passes();
+      const std::uint64_t p0 = c.s.module_evals();
       c.s.run(kCycles);
       finals[static_cast<std::size_t>(t)] = c.q.read();
-      passes[static_cast<std::size_t>(t)] = c.s.eval_passes() - p0;
+      passes[static_cast<std::size_t>(t)] = c.s.module_evals() - p0;
     });
   }
   for (auto& th : pool) th.join();
   for (int t = 0; t < kThreads; ++t) {
     EXPECT_EQ(finals[static_cast<std::size_t>(t)], kCycles);
-    // Single-settle invariant holds on every thread.
+    // Single-settle invariant holds on every thread: one 3-eval drain
+    // per cycle (event-driven default; the trace hooks are thread_local
+    // so concurrent drains share nothing).
     EXPECT_EQ(passes[static_cast<std::size_t>(t)],
               static_cast<std::uint64_t>(3 * kCycles));
   }
