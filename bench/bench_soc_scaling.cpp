@@ -9,7 +9,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "area/area_model.hpp"
@@ -103,10 +105,13 @@ BENCHMARK(BM_PolicyEval);
 
 // ------------------------------------------------------------------
 // Kernel scaling knee: synthetic N-manager x M-subordinate crossbar
-// SoCs beyond the paper topology, full-sweep vs event-driven. With only
-// a fraction of managers active, the event-driven kernel's settle cost
-// tracks activity while the sweep's tracks netlist size — the knee is
-// where the sweep falls off.
+// SoCs beyond the paper topology, across both schedulers (full-sweep /
+// event-driven) and both crossbar implementations (monolithic O(NxM)
+// eval / per-port shards). With only a fraction of managers active, the
+// event-driven kernel's settle cost tracks activity — and the sharded
+// crossbar is what lets it: the monolithic eval is woken nearly every
+// cycle under load and re-runs all NxM port pairs, while shards wake
+// per port.
 // ------------------------------------------------------------------
 
 /// n managers -> one crossbar -> m memory subordinates, each
@@ -120,7 +125,7 @@ struct GridSoc {
   sim::Simulator s;
 
   GridSoc(unsigned n_mgr, unsigned n_sub, unsigned active,
-          SchedPolicy policy)
+          SchedPolicy policy, axi::XbarImpl impl = axi::XbarImpl::kSharded)
       : s(policy) {
     std::vector<axi::Link*> mgr_ptrs, sub_ptrs;
     std::vector<axi::AddrRange> map;
@@ -137,7 +142,8 @@ struct GridSoc {
           "mem" + std::to_string(j), *sub_links.back()));
       map.push_back(axi::AddrRange{j * 0x1'0000ull, 0x1'0000ull, j});
     }
-    xbar = std::make_unique<axi::Crossbar>("xbar", mgr_ptrs, sub_ptrs, map);
+    xbar = std::make_unique<axi::Crossbar>("xbar", mgr_ptrs, sub_ptrs, map,
+                                           /*id_shift=*/8, impl);
     for (auto& g : gens) s.add(*g);
     s.add(*xbar);
     for (auto& m : mems) s.add(*m);
@@ -152,11 +158,18 @@ struct GridSoc {
       gens[i]->set_random(rc);
     }
   }
+
+  std::size_t completed() const {
+    std::size_t n = 0;
+    for (const auto& g : gens) n += g->completed();
+    return n;
+  }
 };
 
 double grid_rate(unsigned n_mgr, unsigned n_sub, unsigned active,
-                 SchedPolicy policy, std::uint64_t cycles) {
-  GridSoc g(n_mgr, n_sub, active, policy);
+                 SchedPolicy policy, axi::XbarImpl impl,
+                 std::uint64_t cycles) {
+  GridSoc g(n_mgr, n_sub, active, policy, impl);
   const auto t0 = std::chrono::steady_clock::now();
   g.s.run(cycles);
   const std::chrono::duration<double> dt =
@@ -167,23 +180,31 @@ double grid_rate(unsigned n_mgr, unsigned n_sub, unsigned active,
 void print_scaling_knee() {
   bench::header(
       "Kernel scaling knee — managers x subordinates, 25% managers active",
-      "full-sweep settle cost tracks netlist size; event-driven tracks "
-      "activity (wire fan-out dirty-sets)");
-  std::printf("%8s %8s %8s %14s %14s %10s\n", "mgrs", "subs", "active",
-              "full (cyc/s)", "event (cyc/s)", "speedup");
-  bench::rule(70);
+      "event-driven settle cost tracks activity; the sharded crossbar "
+      "removes the O(NxM) monolithic eval that capped it");
+  std::printf("%6s %6s %7s %13s %13s %13s %9s\n", "mgrs", "subs", "active",
+              "full/mono", "event/mono", "event/shard", "xbar gain");
+  bench::rule(74);
   constexpr std::uint64_t kCycles = 4000;
   const unsigned grid[][2] = {{2, 2}, {4, 3}, {8, 6}, {16, 12}, {32, 24}};
   for (const auto& [n_mgr, n_sub] : grid) {
     const unsigned active = n_mgr >= 4 ? n_mgr / 4 : 1;
-    const double full =
-        grid_rate(n_mgr, n_sub, active, SchedPolicy::kFullSweep, kCycles);
-    const double event =
-        grid_rate(n_mgr, n_sub, active, SchedPolicy::kEventDriven, kCycles);
-    std::printf("%8u %8u %8u %14.0f %14.0f %9.2fx\n", n_mgr, n_sub, active,
-                full, event, event / full);
+    const double full_mono =
+        grid_rate(n_mgr, n_sub, active, SchedPolicy::kFullSweep,
+                  axi::XbarImpl::kMonolithic, kCycles);
+    const double event_mono =
+        grid_rate(n_mgr, n_sub, active, SchedPolicy::kEventDriven,
+                  axi::XbarImpl::kMonolithic, kCycles);
+    const double event_shard =
+        grid_rate(n_mgr, n_sub, active, SchedPolicy::kEventDriven,
+                  axi::XbarImpl::kSharded, kCycles);
+    std::printf("%6u %6u %7u %13.0f %13.0f %13.0f %8.2fx\n", n_mgr, n_sub,
+                active, full_mono, event_mono, event_shard,
+                event_shard / event_mono);
   }
-  bench::rule(70);
+  bench::rule(74);
+  std::printf("(cycles/s; xbar gain = sharded vs monolithic crossbar, both "
+              "event-driven)\n");
 }
 
 void BM_GridSoc(benchmark::State& state) {
@@ -191,31 +212,72 @@ void BM_GridSoc(benchmark::State& state) {
   const unsigned n_sub = static_cast<unsigned>(state.range(1));
   const SchedPolicy policy = state.range(2) == 0 ? SchedPolicy::kFullSweep
                                                  : SchedPolicy::kEventDriven;
-  GridSoc g(n_mgr, n_sub, n_mgr >= 4 ? n_mgr / 4 : 1, policy);
+  const axi::XbarImpl impl = state.range(3) == 0 ? axi::XbarImpl::kMonolithic
+                                                 : axi::XbarImpl::kSharded;
+  GridSoc g(n_mgr, n_sub, n_mgr >= 4 ? n_mgr / 4 : 1, policy, impl);
   for (auto _ : state) {
     g.s.run(100);
   }
-  state.SetLabel(sim::sched::to_string(policy));
+  state.SetLabel(std::string(sim::sched::to_string(policy)) + "/" +
+                 to_string(impl));
   state.counters["cycles/s"] = benchmark::Counter(
       static_cast<double>(state.iterations()) * 100.0,
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_GridSoc)
-    ->Args({4, 3, 0})
-    ->Args({4, 3, 1})
-    ->Args({16, 12, 0})
-    ->Args({16, 12, 1})
-    ->Args({32, 24, 0})
-    ->Args({32, 24, 1})
+    ->Args({4, 3, 0, 1})
+    ->Args({4, 3, 1, 0})
+    ->Args({4, 3, 1, 1})
+    ->Args({16, 12, 0, 1})
+    ->Args({16, 12, 1, 0})
+    ->Args({16, 12, 1, 1})
+    ->Args({32, 24, 0, 1})
+    ->Args({32, 24, 1, 0})
+    ->Args({32, 24, 1, 1})
     ->Unit(benchmark::kMicrosecond);
+
+/// CI does-it-run gate (`--smoke`): small grids, few cycles, and a
+/// cross-implementation determinism check — identically seeded
+/// monolithic and sharded grids must complete exactly the same traffic.
+int run_smoke() {
+  int failures = 0;
+  for (const auto& [n_mgr, n_sub] : {std::pair{4u, 3u}, std::pair{8u, 6u}}) {
+    const unsigned active = n_mgr / 4;
+    GridSoc mono(n_mgr, n_sub, active, SchedPolicy::kEventDriven,
+                 axi::XbarImpl::kMonolithic);
+    GridSoc shard(n_mgr, n_sub, active, SchedPolicy::kEventDriven,
+                  axi::XbarImpl::kSharded);
+    GridSoc sweep(n_mgr, n_sub, active, SchedPolicy::kFullSweep,
+                  axi::XbarImpl::kSharded);
+    mono.s.run(500);
+    shard.s.run(500);
+    sweep.s.run(500);
+    const bool ok = shard.completed() == mono.completed() &&
+                    sweep.completed() == mono.completed() &&
+                    mono.completed() > 0;
+    std::printf("smoke %ux%u: mono=%zu sharded=%zu sharded/full=%zu %s\n",
+                n_mgr, n_sub, mono.completed(), shard.completed(),
+                sweep.completed(), ok ? "OK" : "MISMATCH");
+    if (!ok) ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   sim::global_log_level() = sim::LogLevel::kOff;
-  print_area_table();
-  run_concurrent_recovery();
-  print_scaling_knee();
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") return run_smoke();
+  }
+  // TMU_SCALING_REPORT=0 skips the printed tables (baseline recording
+  // wants only the registered benchmarks).
+  const char* rep = std::getenv("TMU_SCALING_REPORT");
+  if (rep == nullptr || std::string_view(rep) != "0") {
+    print_area_table();
+    run_concurrent_recovery();
+    print_scaling_knee();
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

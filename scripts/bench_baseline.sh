@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Runs bench_sim_throughput and bench_campaign and records the results
-# as the committed baselines under bench/baselines/.
-# Usage: scripts/bench_baseline.sh [throughput_out.json] [campaign_out.json]
+# Runs bench_sim_throughput, bench_campaign and bench_soc_scaling and
+# records the results as the committed baselines under bench/baselines/.
+# Usage: scripts/bench_baseline.sh [throughput.json] [campaign.json] [scaling.json]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -9,10 +9,13 @@ cd "$repo_root"
 
 out="${1:-bench/baselines/BENCH_sim_throughput.json}"
 campaign_out="${2:-bench/baselines/BENCH_campaign.json}"
-mkdir -p "$(dirname "$out")" "$(dirname "$campaign_out")"
+scaling_out="${3:-bench/baselines/BENCH_soc_scaling.json}"
+mkdir -p "$(dirname "$out")" "$(dirname "$campaign_out")" \
+  "$(dirname "$scaling_out")"
 
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build -j --target bench_sim_throughput bench_campaign
+cmake --build build -j --target bench_sim_throughput bench_campaign \
+  bench_soc_scaling
 
 # Arg 0 = full-sweep scheduler, arg 1 = event-driven: the baseline
 # carries both policies. TMU_SPEEDUP_REPORT=0 skips the chrono preamble
@@ -33,5 +36,15 @@ TMU_CAMPAIGN_REPORT=0 ./build/bench_campaign \
   --benchmark_repetitions=3 \
   --benchmark_report_aggregates_only=true
 
+# Grid-SoC scaling trajectory (BM_GridSoc cycles/s counters across
+# policies and crossbar implementations). TMU_SCALING_REPORT=0 skips the
+# area/recovery/knee preamble — run ./build/bench_soc_scaling directly
+# for the printed sweep tables.
+TMU_SCALING_REPORT=0 ./build/bench_soc_scaling \
+  --benchmark_out="$scaling_out" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true
+
 echo
-echo "Baselines recorded at $out and $campaign_out"
+echo "Baselines recorded at $out, $campaign_out and $scaling_out"

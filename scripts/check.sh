@@ -27,6 +27,17 @@ cmake --build build -j
 ./build/test_sched_equiv --gtest_brief=1
 echo "check.sh: event-driven vs full-sweep equivalence OK"
 
+# Crossbar shard gate: the per-port sharded evaluation must be
+# wire-exact against the monolithic reference eval (lockstep fuzz incl.
+# injected faults, DECERR traffic and busy->idle->busy transitions).
+./build/test_xbar_shard_equiv --gtest_brief=1
+echo "check.sh: sharded vs monolithic crossbar equivalence OK"
+
+# Scaling-bench smoke: the grid SoC sweep must construct and run at
+# small sizes with deterministic cross-implementation traffic counts.
+./build/bench_soc_scaling --smoke
+echo "check.sh: bench_soc_scaling smoke OK"
+
 if [[ "$run_bench" == 1 ]]; then
   ./build/bench_sim_throughput \
     --benchmark_out=build/sim_throughput.bench.json \

@@ -1,53 +1,358 @@
 #include "axi/crossbar.hpp"
 
+#include <array>
 #include <cassert>
 
 namespace axi {
 
+// ---------------------------------------------------------------------
+// Shards
+// ---------------------------------------------------------------------
+
+/// Response-path shard for one manager: decodes and demuxes that
+/// manager's AW/AR/W onto the internal per-(m,s) request wires (with
+/// same-ID gating and ID remapping), muxes B/R back from the internal
+/// response wires plus the manager's DECERR queues, and terminates
+/// decode errors locally. Reads only its manager's link and its own row
+/// of internal wires, so it sleeps whenever its manager is idle.
+class Crossbar::MgrShard final : public sim::Module {
+ public:
+  MgrShard(std::string name, Crossbar& owner, std::size_t m)
+      : sim::Module(std::move(name)), x_(owner), m_(m) {}
+
+  void eval() override;
+  void reset() override { prev_.fill(kNone); }
+  bool tick_changed_eval_state() const override {
+    return x_.st_.mgr_evt[m_] != 0;
+  }
+
+ private:
+  Crossbar& x_;
+  std::size_t m_;
+  std::uint32_t aw_hint_ = 0;  ///< decoder last-hit caches
+  std::uint32_t ar_hint_ = 0;
+  /// Subordinates whose xreq wire may be non-default after the last
+  /// eval (one slot per channel role). Only these and the currently
+  /// active ones are rewritten — every other wire in the row provably
+  /// still holds AxiReq{}, so the O(M) full-row rewrite (M equality
+  /// compares per eval) collapses to O(active).
+  std::array<std::size_t, 5> prev_{kNone, kNone, kNone, kNone, kNone};
+};
+
+/// Request-path shard for one subordinate: round-robin AW/AR
+/// arbitration over the internal per-(m,s) request wires, W routing by
+/// the subordinate's grant FIFO, and B/R demux of the subordinate's
+/// responses onto the internal response wires. Reads only its
+/// subordinate's link and its own column of internal wires, so an idle
+/// subordinate port costs zero evals.
+class Crossbar::SubShard final : public sim::Module {
+ public:
+  SubShard(std::string name, Crossbar& owner, std::size_t s)
+      : sim::Module(std::move(name)), x_(owner), s_(s) {}
+
+  void eval() override;
+  void reset() override { prev_.fill(kNone); }
+  bool tick_changed_eval_state() const override {
+    return x_.st_.sub_evt[s_] != 0;
+  }
+
+ private:
+  Crossbar& x_;
+  std::size_t s_;
+  /// Managers whose xrsp wire may be non-default after the last eval;
+  /// see MgrShard::prev_.
+  std::array<std::size_t, 5> prev_{kNone, kNone, kNone, kNone, kNone};
+};
+
+void Crossbar::MgrShard::eval() {
+  XbarState& st = x_.st_;
+  const std::size_t n_s = st.n_s;
+  const AxiReq& mq = x_.mgrs_[m_]->req.read();
+
+  AxiRsp rsp{};
+
+  // --- request demux: where do this manager's AW / AR / W go? ---
+  std::size_t aw_s = kNone;
+  if (mq.aw_valid) {
+    const std::size_t t = st.decoder.lookup(mq.aw.addr, aw_hint_);
+    if (st.aw_id_route[m_].allows(mq.aw.id, t)) {
+      if (t == kDecErr) {
+        rsp.aw_ready = true;  // DECERR default subordinate: always ready
+      } else {
+        aw_s = t;
+      }
+    }
+  }
+  std::size_t ar_s = kNone;
+  if (mq.ar_valid) {
+    const std::size_t t = st.decoder.lookup(mq.ar.addr, ar_hint_);
+    if (st.ar_id_route[m_].allows(mq.ar.id, t)) {
+      if (t == kDecErr) {
+        rsp.ar_ready = true;
+      } else {
+        ar_s = t;
+      }
+    }
+  }
+  std::size_t w_s = kNone;
+  if (!st.mgr_w_route[m_].empty()) {
+    const std::size_t s = st.mgr_w_route[m_].front();
+    if (s == kDecErr) {
+      rsp.w_ready = mq.w_valid;  // swallow DECERR write data at full rate
+    } else {
+      w_s = s;
+    }
+  }
+
+  // --- single pass over this manager's xrsp row: grant readies from
+  // the targeted subs, and the B/R sources closest to the round-robin
+  // pointers (subs offering a response for this manager plus the DECERR
+  // queue as virtual source n_s) — one traced read per wire ---
+  std::size_t b_src = kNone;
+  std::size_t r_src = kNone;
+  std::size_t b_dist = n_s + 1;  // rr distance of the best source so far
+  std::size_t r_dist = n_s + 1;
+  for (std::size_t src = 0; src < n_s; ++src) {
+    const AxiRsp& xr = x_.xrsp(m_, src).read();
+    if (src == aw_s) rsp.aw_ready = xr.aw_ready;
+    if (src == ar_s) rsp.ar_ready = xr.ar_ready;
+    if (src == w_s) rsp.w_ready = xr.w_ready;
+    if (xr.b_valid) {
+      const std::size_t d = rr_dist(src, st.b_rr[m_], n_s + 1);
+      if (d < b_dist) {
+        b_dist = d;
+        b_src = src;
+        rsp.b = xr.b;
+      }
+    }
+    if (xr.r_valid) {
+      const std::size_t d = rr_dist(src, st.r_rr[m_], n_s + 1);
+      if (d < r_dist) {
+        r_dist = d;
+        r_src = src;
+        rsp.r = xr.r;
+      }
+    }
+  }
+  if (const DecErrWrite* t = st.first_done_write(m_)) {
+    const std::size_t d = rr_dist(n_s, st.b_rr[m_], n_s + 1);
+    if (d < b_dist) {
+      b_dist = d;
+      b_src = kNone;  // DECERR source: no sub wire to signal ready on
+      rsp.b = BFlit{t->id, Resp::kDecErr};
+    }
+  }
+  rsp.b_valid = b_dist <= n_s;
+  if (!st.dec_r[m_].empty()) {
+    const std::size_t d = rr_dist(n_s, st.r_rr[m_], n_s + 1);
+    if (d < r_dist) {
+      r_dist = d;
+      r_src = kNone;
+      const DecErrRead& t = st.dec_r[m_].front();
+      rsp.r = RFlit{t.id, 0, Resp::kDecErr, t.beats_left == 1};
+    }
+  }
+  rsp.r_valid = r_dist <= n_s;
+
+  // --- drive this manager's row of internal request wires: only the
+  // wires active now or last eval can differ from AxiReq{} ---
+  const std::array<std::size_t, 5> cur{aw_s, ar_s, w_s, b_src, r_src};
+  for (const std::size_t s : cur) {
+    if (s >= n_s) continue;  // kNone / DECERR roles handled locally
+    AxiReq q{};
+    if (s == aw_s) {
+      q.aw_valid = true;
+      q.aw = mq.aw;
+      q.aw.id = (mq.aw.id & st.id_mask) |
+                (static_cast<Id>(m_) << st.id_shift);
+    }
+    if (s == ar_s) {
+      q.ar_valid = true;
+      q.ar = mq.ar;
+      q.ar.id = (mq.ar.id & st.id_mask) |
+                (static_cast<Id>(m_) << st.id_shift);
+    }
+    if (s == w_s) {
+      q.w_valid = mq.w_valid;
+      q.w = mq.w;
+    }
+    if (s == b_src) q.b_ready = mq.b_ready;
+    if (s == r_src) q.r_ready = mq.r_ready;
+    x_.xreq(m_, s).write(q);
+  }
+  reset_stale(prev_, cur, n_s, [&](std::size_t s) -> auto& {
+    return x_.xreq(m_, s);
+  }, AxiReq{});
+  prev_ = cur;
+
+  x_.mgrs_[m_]->rsp.write(rsp);
+}
+
+void Crossbar::SubShard::eval() {
+  XbarState& st = x_.st_;
+  const std::size_t n_m = st.n_m;
+  const AxiRsp& sr = x_.subs_[s_]->rsp.read();
+
+  AxiReq q{};
+
+  // Non-wire routing decisions first: who owns the W channel (oldest
+  // granted manager), and which managers the pending B/R route back to
+  // (by the ID's manager bits; out-of-range IDs — injected faults —
+  // route nowhere, like the monolithic eval).
+  const std::size_t w_m =
+      st.w_route[s_].empty() ? kNone : st.w_route[s_].front();
+  std::size_t b_m = kNone;
+  if (sr.b_valid && (sr.b.id >> st.id_shift) < n_m) {
+    b_m = sr.b.id >> st.id_shift;
+  }
+  std::size_t r_m = kNone;
+  if (sr.r_valid && (sr.r.id >> st.id_shift) < n_m) {
+    r_m = sr.r.id >> st.id_shift;
+  }
+
+  // --- single pass over this subordinate's xreq column: round-robin
+  // AW/AR arbitration (closest requester to the rr pointer wins), W
+  // forwarding and B/R ready collection — one traced read per wire ---
+  std::size_t aw_m = kNone;
+  std::size_t ar_m = kNone;
+  std::size_t aw_dist = n_m;
+  std::size_t ar_dist = n_m;
+  for (std::size_t m = 0; m < n_m; ++m) {
+    const AxiReq& xq = x_.xreq(m, s_).read();
+    if (xq.aw_valid) {
+      const std::size_t d = rr_dist(m, st.aw_rr[s_], n_m);
+      if (d < aw_dist) {
+        aw_dist = d;
+        aw_m = m;
+        q.aw = xq.aw;  // already ID-remapped by the manager shard
+      }
+    }
+    if (xq.ar_valid) {
+      const std::size_t d = rr_dist(m, st.ar_rr[s_], n_m);
+      if (d < ar_dist) {
+        ar_dist = d;
+        ar_m = m;
+        q.ar = xq.ar;
+      }
+    }
+    if (m == w_m) {
+      q.w_valid = xq.w_valid;
+      q.w = xq.w;
+    }
+    if (m == b_m) q.b_ready = xq.b_ready;
+    if (m == r_m) q.r_ready = xq.r_ready;
+  }
+  q.aw_valid = aw_m != kNone;
+  q.ar_valid = ar_m != kNone;
+
+  x_.subs_[s_]->req.write(q);
+
+  // --- drive this subordinate's column of internal response wires:
+  // only the wires active now or last eval can differ from AxiRsp{} ---
+  const std::array<std::size_t, 5> cur{aw_m, ar_m, w_m, b_m, r_m};
+  for (const std::size_t m : cur) {
+    if (m >= n_m) continue;
+    AxiRsp xr{};
+    if (m == aw_m) xr.aw_ready = sr.aw_ready;
+    if (m == ar_m) xr.ar_ready = sr.ar_ready;
+    if (m == w_m) xr.w_ready = sr.w_ready;
+    if (m == b_m) {
+      xr.b_valid = true;
+      xr.b = BFlit{sr.b.id & st.id_mask, sr.b.resp};
+    }
+    if (m == r_m) {
+      xr.r_valid = true;
+      xr.r = RFlit{sr.r.id & st.id_mask, sr.r.data, sr.r.resp, sr.r.last};
+    }
+    x_.xrsp(m, s_).write(xr);
+  }
+  reset_stale(prev_, cur, n_m, [&](std::size_t m) -> auto& {
+    return x_.xrsp(m, s_);
+  }, AxiRsp{});
+  prev_ = cur;
+}
+
+// ---------------------------------------------------------------------
+// Facade
+// ---------------------------------------------------------------------
+
 Crossbar::Crossbar(std::string name, std::vector<Link*> managers,
-                   std::vector<Link*> subordinates, std::vector<AddrRange> map,
-                   unsigned id_shift)
+                   std::vector<Link*> subordinates,
+                   std::vector<AddrRange> map, unsigned id_shift,
+                   XbarImpl impl)
     : sim::Module(std::move(name)),
       mgrs_(std::move(managers)),
       subs_(std::move(subordinates)),
-      map_(std::move(map)),
-      id_shift_(id_shift),
-      w_route_(subs_.size()),
-      mgr_w_route_(mgrs_.size()),
-      aw_rr_(subs_.size(), 0),
-      ar_rr_(subs_.size(), 0),
-      b_rr_(mgrs_.size(), 0),
-      r_rr_(mgrs_.size(), 0),
-      aw_id_route_(mgrs_.size()),
-      ar_id_route_(mgrs_.size()) {}
-
-std::size_t Crossbar::decode(Addr a) const {
-  for (const AddrRange& r : map_) {
-    if (r.contains(a)) return r.sub_index;
+      impl_(impl),
+      st_(mgrs_.size(), subs_.size(), std::move(map), id_shift),
+      xreq_(impl == XbarImpl::kSharded ? mgrs_.size() * subs_.size() : 0),
+      xrsp_(impl == XbarImpl::kSharded ? mgrs_.size() * subs_.size() : 0),
+      sub_req_scratch_(subs_.size()),
+      mgr_rsp_scratch_(mgrs_.size()),
+      aw_tgt_(mgrs_.size(), kNone),
+      ar_tgt_(mgrs_.size(), kNone),
+      eval_aw_hint_(mgrs_.size(), 0),
+      eval_ar_hint_(mgrs_.size(), 0),
+      tick_aw_hint_(mgrs_.size(), 0),
+      tick_ar_hint_(mgrs_.size(), 0) {
+  if (impl_ == XbarImpl::kSharded) {
+    mgr_shards_.reserve(mgrs_.size());
+    for (std::size_t m = 0; m < mgrs_.size(); ++m) {
+      mgr_shards_.push_back(std::make_unique<MgrShard>(
+          this->name() + ".mgr" + std::to_string(m), *this, m));
+    }
+    sub_shards_.reserve(subs_.size());
+    for (std::size_t s = 0; s < subs_.size(); ++s) {
+      sub_shards_.push_back(std::make_unique<SubShard>(
+          this->name() + ".sub" + std::to_string(s), *this, s));
+    }
   }
-  return kDecErr;
 }
 
+Crossbar::~Crossbar() = default;
+
+void Crossbar::visit_submodules(
+    const std::function<void(sim::Module&)>& visit) {
+  for (auto& sh : mgr_shards_) visit(*sh);
+  for (auto& sh : sub_shards_) visit(*sh);
+}
+
+/// The seed's monolithic evaluation, retained verbatim in behaviour (on
+/// the shared XbarState) as the sharded path's lockstep reference. Two
+/// hot-path fixes survive even here: the per-eval output vectors are
+/// member scratch, and each manager's AW/AR target is decoded once per
+/// eval (binary search + last-hit hint) instead of once per (manager,
+/// subordinate) pair.
 void Crossbar::eval() {
+  // In sharded mode the registered shards own the output wires; a
+  // direct call here would fight them for the settled values.
+  assert(impl_ == XbarImpl::kMonolithic);
   const std::size_t n_m = mgrs_.size();
   const std::size_t n_s = subs_.size();
-  const Id id_mask = (Id{1} << id_shift_) - 1;
 
-  std::vector<AxiReq> sub_req(n_s);
-  std::vector<AxiRsp> mgr_rsp(n_m);
+  for (std::size_t s = 0; s < n_s; ++s) sub_req_scratch_[s] = AxiReq{};
+  for (std::size_t m = 0; m < n_m; ++m) {
+    mgr_rsp_scratch_[m] = AxiRsp{};
+    const AxiReq& mq = mgrs_[m]->req.read();
+    aw_tgt_[m] = mq.aw_valid
+                     ? st_.decoder.lookup(mq.aw.addr, eval_aw_hint_[m])
+                     : kNone;
+    ar_tgt_[m] = mq.ar_valid
+                     ? st_.decoder.lookup(mq.ar.addr, eval_ar_hint_[m])
+                     : kNone;
+  }
 
   // ------------------------- AW arbitration -------------------------
   for (std::size_t s = 0; s < n_s; ++s) {
     for (std::size_t k = 0; k < n_m; ++k) {
-      const std::size_t m = (aw_rr_[s] + k) % n_m;
+      const std::size_t m = (st_.aw_rr[s] + k) % n_m;
       const AxiReq& mq = mgrs_[m]->req.read();
-      if (mq.aw_valid && decode(mq.aw.addr) == s &&
-          id_route_allows(aw_id_route_[m], mq.aw.id, s)) {
-        sub_req[s].aw_valid = true;
-        sub_req[s].aw = mq.aw;
-        sub_req[s].aw.id = (mq.aw.id & id_mask) |
-                           (static_cast<Id>(m) << id_shift_);
-        mgr_rsp[m].aw_ready = subs_[s]->rsp.read().aw_ready;
+      if (aw_tgt_[m] == s && st_.aw_id_route[m].allows(mq.aw.id, s)) {
+        sub_req_scratch_[s].aw_valid = true;
+        sub_req_scratch_[s].aw = mq.aw;
+        sub_req_scratch_[s].aw.id = (mq.aw.id & st_.id_mask) |
+                                    (static_cast<Id>(m) << st_.id_shift);
+        mgr_rsp_scratch_[m].aw_ready = subs_[s]->rsp.read().aw_ready;
         break;
       }
     }
@@ -55,50 +360,52 @@ void Crossbar::eval() {
   // AW to the DECERR default subordinate: always ready.
   for (std::size_t m = 0; m < n_m; ++m) {
     const AxiReq& mq = mgrs_[m]->req.read();
-    if (mq.aw_valid && decode(mq.aw.addr) == kDecErr &&
-        id_route_allows(aw_id_route_[m], mq.aw.id, kDecErr)) {
-      mgr_rsp[m].aw_ready = true;
+    if (aw_tgt_[m] == kDecErr &&
+        st_.aw_id_route[m].allows(mq.aw.id, kDecErr)) {
+      mgr_rsp_scratch_[m].aw_ready = true;
     }
   }
 
   // --------------------------- W routing ----------------------------
   for (std::size_t s = 0; s < n_s; ++s) {
-    if (w_route_[s].empty()) continue;
-    const std::size_t m = w_route_[s].front();
-    if (mgr_w_route_[m].empty() || mgr_w_route_[m].front() != s) continue;
+    if (st_.w_route[s].empty()) continue;
+    const std::size_t m = st_.w_route[s].front();
+    if (st_.mgr_w_route[m].empty() || st_.mgr_w_route[m].front() != s) {
+      continue;
+    }
     const AxiReq& mq = mgrs_[m]->req.read();
-    sub_req[s].w_valid = mq.w_valid;
-    sub_req[s].w = mq.w;
-    mgr_rsp[m].w_ready = subs_[s]->rsp.read().w_ready;
+    sub_req_scratch_[s].w_valid = mq.w_valid;
+    sub_req_scratch_[s].w = mq.w;
+    mgr_rsp_scratch_[m].w_ready = subs_[s]->rsp.read().w_ready;
   }
   // W beats destined for the DECERR subordinate: swallow at full rate.
   for (std::size_t m = 0; m < n_m; ++m) {
-    if (!mgr_w_route_[m].empty() && mgr_w_route_[m].front() == kDecErr) {
-      mgr_rsp[m].w_ready = mgrs_[m]->req.read().w_valid;
+    if (!st_.mgr_w_route[m].empty() &&
+        st_.mgr_w_route[m].front() == kDecErr) {
+      mgr_rsp_scratch_[m].w_ready = mgrs_[m]->req.read().w_valid;
     }
   }
 
   // ------------------------- AR arbitration -------------------------
   for (std::size_t s = 0; s < n_s; ++s) {
     for (std::size_t k = 0; k < n_m; ++k) {
-      const std::size_t m = (ar_rr_[s] + k) % n_m;
+      const std::size_t m = (st_.ar_rr[s] + k) % n_m;
       const AxiReq& mq = mgrs_[m]->req.read();
-      if (mq.ar_valid && decode(mq.ar.addr) == s &&
-          id_route_allows(ar_id_route_[m], mq.ar.id, s)) {
-        sub_req[s].ar_valid = true;
-        sub_req[s].ar = mq.ar;
-        sub_req[s].ar.id = (mq.ar.id & id_mask) |
-                           (static_cast<Id>(m) << id_shift_);
-        mgr_rsp[m].ar_ready = subs_[s]->rsp.read().ar_ready;
+      if (ar_tgt_[m] == s && st_.ar_id_route[m].allows(mq.ar.id, s)) {
+        sub_req_scratch_[s].ar_valid = true;
+        sub_req_scratch_[s].ar = mq.ar;
+        sub_req_scratch_[s].ar.id = (mq.ar.id & st_.id_mask) |
+                                    (static_cast<Id>(m) << st_.id_shift);
+        mgr_rsp_scratch_[m].ar_ready = subs_[s]->rsp.read().ar_ready;
         break;
       }
     }
   }
   for (std::size_t m = 0; m < n_m; ++m) {
     const AxiReq& mq = mgrs_[m]->req.read();
-    if (mq.ar_valid && decode(mq.ar.addr) == kDecErr &&
-        id_route_allows(ar_id_route_[m], mq.ar.id, kDecErr)) {
-      mgr_rsp[m].ar_ready = true;
+    if (ar_tgt_[m] == kDecErr &&
+        st_.ar_id_route[m].allows(mq.ar.id, kDecErr)) {
+      mgr_rsp_scratch_[m].ar_ready = true;
     }
   }
 
@@ -107,25 +414,19 @@ void Crossbar::eval() {
     // Sources: each sub with b_valid for this manager, plus the DECERR
     // queue. Round-robin over n_s + 1 virtual sources.
     for (std::size_t k = 0; k <= n_s; ++k) {
-      const std::size_t src = (b_rr_[m] + k) % (n_s + 1);
+      const std::size_t src = (st_.b_rr[m] + k) % (n_s + 1);
       if (src < n_s) {
         const AxiRsp& sr = subs_[src]->rsp.read();
-        if (sr.b_valid && (sr.b.id >> id_shift_) == m) {
-          mgr_rsp[m].b_valid = true;
-          mgr_rsp[m].b = BFlit{sr.b.id & id_mask, sr.b.resp};
-          sub_req[src].b_ready = mgrs_[m]->req.read().b_ready;
+        if (sr.b_valid && (sr.b.id >> st_.id_shift) == m) {
+          mgr_rsp_scratch_[m].b_valid = true;
+          mgr_rsp_scratch_[m].b = BFlit{sr.b.id & st_.id_mask, sr.b.resp};
+          sub_req_scratch_[src].b_ready = mgrs_[m]->req.read().b_ready;
           break;
         }
-      } else {
-        // DECERR source: oldest finished write for this manager.
-        for (const DecErrTxn& t : dec_q_) {
-          if (t.mgr == m && t.is_write && t.data_done) {
-            mgr_rsp[m].b_valid = true;
-            mgr_rsp[m].b = BFlit{t.id, Resp::kDecErr};
-            break;
-          }
-        }
-        if (mgr_rsp[m].b_valid) break;
+      } else if (const DecErrWrite* t = st_.first_done_write(m)) {
+        mgr_rsp_scratch_[m].b_valid = true;
+        mgr_rsp_scratch_[m].b = BFlit{t->id, Resp::kDecErr};
+        break;
       }
     }
   }
@@ -133,44 +434,54 @@ void Crossbar::eval() {
   // --------------------------- R routing ----------------------------
   for (std::size_t m = 0; m < n_m; ++m) {
     for (std::size_t k = 0; k <= n_s; ++k) {
-      const std::size_t src = (r_rr_[m] + k) % (n_s + 1);
+      const std::size_t src = (st_.r_rr[m] + k) % (n_s + 1);
       if (src < n_s) {
         const AxiRsp& sr = subs_[src]->rsp.read();
-        if (sr.r_valid && (sr.r.id >> id_shift_) == m) {
-          mgr_rsp[m].r_valid = true;
-          mgr_rsp[m].r = RFlit{sr.r.id & id_mask, sr.r.data, sr.r.resp,
-                               sr.r.last};
-          sub_req[src].r_ready = mgrs_[m]->req.read().r_ready;
+        if (sr.r_valid && (sr.r.id >> st_.id_shift) == m) {
+          mgr_rsp_scratch_[m].r_valid = true;
+          mgr_rsp_scratch_[m].r = RFlit{sr.r.id & st_.id_mask, sr.r.data,
+                                        sr.r.resp, sr.r.last};
+          sub_req_scratch_[src].r_ready = mgrs_[m]->req.read().r_ready;
           break;
         }
-      } else {
-        for (const DecErrTxn& t : dec_q_) {
-          if (t.mgr == m && !t.is_write) {
-            mgr_rsp[m].r_valid = true;
-            mgr_rsp[m].r = RFlit{t.id, 0, Resp::kDecErr, t.beats_left == 1};
-            break;
-          }
-        }
-        if (mgr_rsp[m].r_valid) break;
+      } else if (!st_.dec_r[m].empty()) {
+        const DecErrRead& t = st_.dec_r[m].front();
+        mgr_rsp_scratch_[m].r_valid = true;
+        mgr_rsp_scratch_[m].r = RFlit{t.id, 0, Resp::kDecErr,
+                                      t.beats_left == 1};
+        break;
       }
     }
   }
 
-  for (std::size_t s = 0; s < n_s; ++s) subs_[s]->req.write(sub_req[s]);
-  for (std::size_t m = 0; m < n_m; ++m) mgrs_[m]->rsp.write(mgr_rsp[m]);
+  for (std::size_t s = 0; s < n_s; ++s) {
+    subs_[s]->req.write(sub_req_scratch_[s]);
+  }
+  for (std::size_t m = 0; m < n_m; ++m) {
+    mgrs_[m]->rsp.write(mgr_rsp_scratch_[m]);
+  }
 }
 
+/// Commits the cycle's handshakes into the shared XbarState — identical
+/// bookkeeping for both implementations — and recomputes the per-shard
+/// edge-activity flags: a shard is marked only when the edge mutated
+/// state its eval reads (grant FIFOs, round-robin pointers, ID routes,
+/// DECERR queues); pure wire traffic is traced by the scheduler.
 void Crossbar::tick() {
   const std::size_t n_m = mgrs_.size();
   const std::size_t n_s = subs_.size();
 
-  // Edge activity: the tick state (routing queues, round-robin and
-  // same-ID bookkeeping) only mutates on handshakes, which require a
-  // valid somewhere; DECERR bursts also ripen from dec_q_. Quiet ports
-  // all around means the edge was a provable no-op for eval().
-  bool evt = !dec_q_.empty();
+  std::fill(st_.mgr_evt.begin(), st_.mgr_evt.end(), 0);
+  std::fill(st_.sub_evt.begin(), st_.sub_evt.end(), 0);
 
-  // Observe settled wires.
+  // Facade-level (monolithic) activity mirrors the seed's conservative
+  // formula: quiet ports all around and empty DECERR queues mean the
+  // edge was a provable no-op for eval().
+  bool evt = false;
+  for (std::size_t m = 0; m < n_m; ++m) {
+    evt = evt || !st_.dec_w[m].empty() || !st_.dec_r[m].empty();
+  }
+
   for (std::size_t m = 0; m < n_m; ++m) {
     const AxiReq& mq = mgrs_[m]->req.read();
     const AxiRsp& mr = mgrs_[m]->rsp.read();
@@ -178,105 +489,100 @@ void Crossbar::tick() {
           mr.r_valid;
 
     if (aw_fire(mq, mr)) {
-      const std::size_t s = decode(mq.aw.addr);
-      IdRoute& route = aw_id_route_[m][mq.aw.id];
-      route.sub = s;
-      ++route.count;
+      st_.mgr_evt[m] = 1;
+      const std::size_t s = st_.decoder.lookup(mq.aw.addr, tick_aw_hint_[m]);
+      st_.aw_id_route[m].open(mq.aw.id, s);
       if (s == kDecErr) {
-        dec_q_.push_back(DecErrTxn{mq.aw.id, m, true, 0, false});
-        mgr_w_route_[m].push_back(kDecErr);
-        ++decode_errors_;
+        st_.dec_w[m].push_back(DecErrWrite{mq.aw.id, false});
+        st_.mgr_w_route[m].push_back(kDecErr);
+        ++st_.decode_errors;
       } else {
-        w_route_[s].push_back(m);
-        mgr_w_route_[m].push_back(s);
-        aw_rr_[s] = (m + 1) % n_m;
+        st_.w_route[s].push_back(m);
+        st_.mgr_w_route[m].push_back(s);
+        st_.aw_rr[s] = (m + 1) % n_m;
+        st_.sub_evt[s] = 1;
       }
     }
     if (ar_fire(mq, mr)) {
-      const std::size_t s = decode(mq.ar.addr);
-      IdRoute& route = ar_id_route_[m][mq.ar.id];
-      route.sub = s;
-      ++route.count;
+      st_.mgr_evt[m] = 1;
+      const std::size_t s = st_.decoder.lookup(mq.ar.addr, tick_ar_hint_[m]);
+      st_.ar_id_route[m].open(mq.ar.id, s);
       if (s == kDecErr) {
-        dec_q_.push_back(
-            DecErrTxn{mq.ar.id, m, false, beats(mq.ar.len), false});
-        ++decode_errors_;
+        st_.dec_r[m].push_back(DecErrRead{mq.ar.id, beats(mq.ar.len)});
+        ++st_.decode_errors;
       } else {
-        ar_rr_[s] = (m + 1) % n_m;
+        st_.ar_rr[s] = (m + 1) % n_m;
+        st_.sub_evt[s] = 1;
       }
     }
     // W beat consumed.
     if (w_fire(mq, mr)) {
-      assert(!mgr_w_route_[m].empty());
-      const std::size_t s = mgr_w_route_[m].front();
+      assert(!st_.mgr_w_route[m].empty());
+      st_.mgr_evt[m] = 1;
+      const std::size_t s = st_.mgr_w_route[m].front();
       if (s == kDecErr) {
         if (mq.w.last) {
-          for (DecErrTxn& t : dec_q_) {
-            if (t.mgr == m && t.is_write && !t.data_done) {
+          for (DecErrWrite& t : st_.dec_w[m]) {
+            if (!t.data_done) {
               t.data_done = true;
               break;
             }
           }
-          mgr_w_route_[m].pop_front();
+          st_.mgr_w_route[m].pop_front();
         }
       } else if (mq.w.last) {
-        mgr_w_route_[m].pop_front();
-        w_route_[s].pop_front();
+        st_.mgr_w_route[m].pop_front();
+        st_.w_route[s].pop_front();
+        st_.sub_evt[s] = 1;
       }
     }
     // B delivered.
     if (b_fire(mq, mr)) {
-      auto rit = aw_id_route_[m].find(mr.b.id);
-      if (rit != aw_id_route_[m].end() && rit->second.count > 0) {
-        --rit->second.count;
-      }
+      st_.mgr_evt[m] = 1;
+      st_.aw_id_route[m].close(mr.b.id);
       // If it came from the DECERR queue, retire that entry.
       bool from_sub = false;
       for (std::size_t s = 0; s < n_s; ++s) {
         const AxiRsp& sr = subs_[s]->rsp.read();
         if (sr.b_valid && subs_[s]->req.read().b_ready &&
-            (sr.b.id >> id_shift_) == m) {
+            (sr.b.id >> st_.id_shift) == m) {
           from_sub = true;
-          b_rr_[m] = (s + 1) % (n_s + 1);
+          st_.b_rr[m] = (s + 1) % (n_s + 1);
           break;
         }
       }
       if (!from_sub) {
-        for (auto it = dec_q_.begin(); it != dec_q_.end(); ++it) {
-          if (it->mgr == m && it->is_write && it->data_done) {
-            dec_q_.erase(it);
+        for (auto it = st_.dec_w[m].begin(); it != st_.dec_w[m].end();
+             ++it) {
+          if (it->data_done) {
+            st_.dec_w[m].erase(it);
             break;
           }
         }
-        b_rr_[m] = 0;
+        st_.b_rr[m] = 0;
       }
     }
     // R beat delivered.
     if (r_fire(mq, mr)) {
-      if (mr.r.last) {
-        auto rit = ar_id_route_[m].find(mr.r.id);
-        if (rit != ar_id_route_[m].end() && rit->second.count > 0) {
-          --rit->second.count;
-        }
-      }
+      st_.mgr_evt[m] = 1;
+      if (mr.r.last) st_.ar_id_route[m].close(mr.r.id);
       bool from_sub = false;
       for (std::size_t s = 0; s < n_s; ++s) {
         const AxiRsp& sr = subs_[s]->rsp.read();
         if (sr.r_valid && subs_[s]->req.read().r_ready &&
-            (sr.r.id >> id_shift_) == m) {
+            (sr.r.id >> st_.id_shift) == m) {
           from_sub = true;
-          r_rr_[m] = (s + 1) % (n_s + 1);
+          st_.r_rr[m] = (s + 1) % (n_s + 1);
           break;
         }
       }
       if (!from_sub) {
-        for (auto it = dec_q_.begin(); it != dec_q_.end(); ++it) {
-          if (it->mgr == m && !it->is_write) {
-            if (--it->beats_left == 0) dec_q_.erase(it);
-            break;
+        if (!st_.dec_r[m].empty()) {
+          if (--st_.dec_r[m].front().beats_left == 0) {
+            st_.dec_r[m].pop_front();
           }
         }
-        r_rr_[m] = 0;
+        st_.r_rr[m] = 0;
       }
     }
   }
@@ -284,18 +590,12 @@ void Crossbar::tick() {
 }
 
 void Crossbar::reset() {
-  for (auto& q : w_route_) q.clear();
-  for (auto& q : mgr_w_route_) q.clear();
-  std::fill(aw_rr_.begin(), aw_rr_.end(), 0);
-  std::fill(ar_rr_.begin(), ar_rr_.end(), 0);
-  std::fill(b_rr_.begin(), b_rr_.end(), 0);
-  std::fill(r_rr_.begin(), r_rr_.end(), 0);
-  for (auto& m : aw_id_route_) m.clear();
-  for (auto& m : ar_id_route_) m.clear();
-  dec_q_.clear();
-  decode_errors_ = 0;
+  st_.clear();
+  tick_evt_ = true;
   for (Link* s : subs_) s->req.force(AxiReq{});
   for (Link* m : mgrs_) m->rsp.force(AxiRsp{});
+  for (auto& w : xreq_) w.force(AxiReq{});
+  for (auto& w : xrsp_) w.force(AxiRsp{});
 }
 
 }  // namespace axi

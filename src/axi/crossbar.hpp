@@ -1,29 +1,46 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <deque>
-#include <map>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "axi/link.hpp"
 #include "axi/types.hpp"
+#include "axi/xbar_state.hpp"
 #include "sim/module.hpp"
+#include "sim/wire.hpp"
 
 namespace axi {
 
-/// One entry of the crossbar address map.
-struct AddrRange {
-  Addr base = 0;
-  Addr size = 0;
-  std::size_t sub_index = 0;
-  bool contains(Addr a) const { return a >= base && a < base + size; }
+/// How the crossbar evaluates its combinational paths.
+enum class XbarImpl {
+  /// Per-port shards (default): M request-path shards (AW/AR
+  /// arbitration + W routing for one subordinate) and N response-path
+  /// shards (decode/demux + B/R mux for one manager), coupled through
+  /// internal per-(manager, subordinate) wires. Each shard is its own
+  /// sim::Module, so the event-driven scheduler wakes only shards whose
+  /// wires actually changed — an idle port costs zero evals and a busy
+  /// port costs O(N) or O(M) instead of O(N x M).
+  kSharded,
+  /// Single monolithic eval over all ports (the seed behaviour on the
+  /// shared XbarState). Retained as the lockstep cross-check reference
+  /// and for bring-up.
+  kMonolithic,
 };
+
+inline const char* to_string(XbarImpl i) {
+  return i == XbarImpl::kSharded ? "sharded" : "monolithic";
+}
 
 /// N-manager x M-subordinate AXI4 crossbar.
 ///
-/// * Address-decoded routing via an AddrRange map; unmapped addresses go
-///   to an internal default subordinate that responds DECERR.
+/// * Address-decoded routing via an AddrRange map (validated at
+///   construction: overlapping or zero-size ranges throw); unmapped
+///   addresses go to an internal default subordinate that responds
+///   DECERR.
 /// * Per-subordinate round-robin arbitration on AW and AR.
 /// * W beats are routed by a per-subordinate FIFO of granted managers
 ///   (AXI4 forbids W interleaving) and a per-manager FIFO of granted
@@ -34,62 +51,105 @@ struct AddrRange {
 ///   outstanding towards a *different* subordinate is stalled until those
 ///   transactions drain (standard axi_xbar behaviour), because responses
 ///   from distinct subordinates could otherwise interleave out of order.
+///
+/// This class is a thin facade over the sharded evaluation architecture:
+/// all registered state lives in one XbarState committed by tick()
+/// exactly once per edge, while the combinational work runs either in
+/// the per-port shards (XbarImpl::kSharded, registered automatically via
+/// Simulator::add's submodule visit) or in the retained monolithic
+/// eval() (XbarImpl::kMonolithic). Both implementations are wire-exact
+/// equivalents, pinned by tests/test_xbar_shard_equiv.cpp.
 class Crossbar : public sim::Module {
  public:
   Crossbar(std::string name, std::vector<Link*> managers,
            std::vector<Link*> subordinates, std::vector<AddrRange> map,
-           unsigned id_shift = 8);
+           unsigned id_shift = 8, XbarImpl impl = XbarImpl::kSharded);
+  ~Crossbar() override;
 
-  void eval() override;
+  void eval() override;  ///< monolithic reference eval (kMonolithic only)
   void tick() override;
   void reset() override;
+  /// In sharded mode the facade drives no wires — the shards do — so
+  /// both settle kernels skip its eval entirely.
+  bool is_combinational() const override {
+    return impl_ == XbarImpl::kMonolithic;
+  }
   bool tick_changed_eval_state() const override { return tick_evt_; }
+  void visit_submodules(
+      const std::function<void(sim::Module&)>& visit) override;
 
-  std::size_t decode_errors() const { return decode_errors_; }
+  std::size_t decode_errors() const { return st_.decode_errors; }
+  XbarImpl impl() const { return impl_; }
 
  private:
-  std::size_t decode(Addr a) const;  ///< returns sub index or kDecErr
-  static constexpr std::size_t kDecErr = static_cast<std::size_t>(-1);
+  class MgrShard;
+  class SubShard;
+  friend class MgrShard;
+  friend class SubShard;
 
-  struct DecErrTxn {
-    Id id;
-    std::size_t mgr;      ///< manager the response routes back to
-    bool is_write;
-    unsigned beats_left;  ///< reads: R beats still to send
-    bool data_done;       ///< writes: wlast seen
-  };
+  static constexpr std::size_t kDecErr = XbarState::kDecErr;
+  /// "no port selected" sentinel for shard-internal mux results;
+  /// distinct from kDecErr.
+  static constexpr std::size_t kNone = kDecErr - 1;
+
+  /// Round-robin distance of `idx` from pointer `rr` over `mod` slots:
+  /// the scan-order rank the seed's first-match loops implied, so
+  /// "minimum distance" selects exactly the seed's winner.
+  static std::size_t rr_dist(std::size_t idx, std::size_t rr,
+                             std::size_t mod) {
+    return (idx + mod - rr) % mod;
+  }
+
+  /// Resets wires of `prev`-active ports that are no longer in `cur` to
+  /// the default value. Together with writing every `cur` port each
+  /// eval, this maintains the sparse-write invariant both shard types
+  /// rely on: a wire indexed outside the last eval's `cur` array
+  /// provably holds a default-constructed value.
+  template <typename WireAt, typename Default>
+  static void reset_stale(const std::array<std::size_t, 5>& prev,
+                          const std::array<std::size_t, 5>& cur,
+                          std::size_t bound, WireAt&& wire_at,
+                          const Default& def) {
+    for (const std::size_t i : prev) {
+      if (i >= bound) continue;
+      bool still_active = false;
+      for (const std::size_t c : cur) still_active = still_active || c == i;
+      if (!still_active) wire_at(i).write(def);
+    }
+  }
+
+  sim::Wire<AxiReq>& xreq(std::size_t m, std::size_t s) {
+    return xreq_[m * subs_.size() + s];
+  }
+  sim::Wire<AxiRsp>& xrsp(std::size_t m, std::size_t s) {
+    return xrsp_[m * subs_.size() + s];
+  }
 
   std::vector<Link*> mgrs_;
   std::vector<Link*> subs_;
-  std::vector<AddrRange> map_;
-  unsigned id_shift_;
+  XbarImpl impl_;
+  XbarState st_;
 
-  // Registered grant state.
-  std::vector<std::deque<std::size_t>> w_route_;      ///< per sub: mgr queue
-  std::vector<std::deque<std::size_t>> mgr_w_route_;  ///< per mgr: sub queue
-  std::vector<std::size_t> aw_rr_;  ///< per sub round-robin pointer
-  std::vector<std::size_t> ar_rr_;
-  std::vector<std::size_t> b_rr_;  ///< per mgr: round-robin over subs for B
-  std::vector<std::size_t> r_rr_;
+  // Internal shard-to-shard wires, [m * n_s + s] (sharded mode only).
+  // Request direction carries the demuxed per-pair valids/payloads and
+  // the response-channel readies; response direction carries the
+  // per-pair grant readies and the demuxed B/R flits.
+  std::vector<sim::Wire<AxiReq>> xreq_;
+  std::vector<sim::Wire<AxiRsp>> xrsp_;
+  std::vector<std::unique_ptr<MgrShard>> mgr_shards_;
+  std::vector<std::unique_ptr<SubShard>> sub_shards_;
 
-  // Same-ID ordering: per manager, per original ID, the subordinate
-  // currently holding outstanding transactions and their count.
-  struct IdRoute {
-    std::size_t sub = 0;
-    unsigned count = 0;
-  };
-  bool id_route_allows(const std::map<Id, IdRoute>& routes, Id id,
-                       std::size_t sub) const {
-    auto it = routes.find(id);
-    return it == routes.end() || it->second.count == 0 ||
-           it->second.sub == sub;
-  }
-  std::vector<std::map<Id, IdRoute>> aw_id_route_;  ///< per manager
-  std::vector<std::map<Id, IdRoute>> ar_id_route_;
+  // Monolithic-eval scratch, hoisted out of the per-eval hot path (the
+  // seed allocated both vectors on every eval).
+  std::vector<AxiReq> sub_req_scratch_;
+  std::vector<AxiRsp> mgr_rsp_scratch_;
+  std::vector<std::size_t> aw_tgt_;  ///< per mgr: decoded AW target
+  std::vector<std::size_t> ar_tgt_;
+  std::vector<std::uint32_t> eval_aw_hint_;  ///< decoder last-hit caches
+  std::vector<std::uint32_t> eval_ar_hint_;
+  std::vector<std::uint32_t> tick_aw_hint_;
+  std::vector<std::uint32_t> tick_ar_hint_;
 
-  // Default (DECERR) subordinate state.
-  std::deque<DecErrTxn> dec_q_;
-  std::size_t decode_errors_ = 0;
   bool tick_evt_ = true;  ///< last tick touched eval-relevant state
 };
 

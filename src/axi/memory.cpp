@@ -12,9 +12,11 @@ void MemorySubordinate::store_beat(Addr a, std::uint8_t size, Data data,
                                    std::uint8_t strb) {
   const std::uint64_t nbytes = beat_bytes(size);
   const Addr base = a & ~(nbytes - 1);
+  Page& p = touch_page(base);
+  const std::uint64_t off = base % kPageBytes;
   for (std::uint64_t i = 0; i < nbytes && i < 8; ++i) {
     if (strb & (1u << i)) {
-      mem_[base + i] = static_cast<std::uint8_t>(data >> (8 * i));
+      p[off + i] = static_cast<std::uint8_t>(data >> (8 * i));
     }
   }
 }
@@ -22,10 +24,12 @@ void MemorySubordinate::store_beat(Addr a, std::uint8_t size, Data data,
 Data MemorySubordinate::load_beat(Addr a, std::uint8_t size) const {
   const std::uint64_t nbytes = beat_bytes(size);
   const Addr base = a & ~(nbytes - 1);
+  const Page* p = find_page(base);
+  if (p == nullptr) return 0;
+  const std::uint64_t off = base % kPageBytes;
   Data d = 0;
   for (std::uint64_t i = 0; i < nbytes && i < 8; ++i) {
-    auto it = mem_.find(base + i);
-    if (it != mem_.end()) d |= Data{it->second} << (8 * i);
+    d |= Data{(*p)[off + i]} << (8 * i);
   }
   return d;
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <optional>
@@ -40,11 +41,11 @@ class MemorySubordinate : public sim::Module {
 
   /// Backdoor accessors for tests.
   std::uint8_t peek(Addr a) const {
-    auto it = mem_.find(a);
-    return it == mem_.end() ? 0 : it->second;
+    const Page* p = find_page(a);
+    return p == nullptr ? 0 : (*p)[a % kPageBytes];
   }
   void poke(Addr a, std::uint8_t v) {
-    mem_[a] = v;
+    touch_page(a)[a % kPageBytes] = v;
     notify_state_change();
   }
   std::uint64_t peek_beat(Addr a, std::uint8_t size) const;
@@ -85,9 +86,45 @@ class MemorySubordinate : public sim::Module {
   void store_beat(Addr a, std::uint8_t size, Data data, std::uint8_t strb);
   Data load_beat(Addr a, std::uint8_t size) const;
 
+  // Sparse paged backing store: one hash per 4 KiB page (with last-hit
+  // caches) instead of the seed's hash per byte, which dominated the
+  // per-cycle profile under burst traffic. Beats are size-aligned and
+  // capped at 8 bytes, so a beat never straddles a page. Node-based map:
+  // page pointers stay valid across inserts, so the caches only need
+  // resetting if the map were ever cleared (it is not — reset() and
+  // hw_reset() keep storage, like real DRAM).
+  static constexpr std::uint64_t kPageBytes = 4096;
+  using Page = std::array<std::uint8_t, kPageBytes>;
+
+  const Page* find_page(Addr a) const {
+    const Addr pno = a / kPageBytes;
+    if (r_cache_page_ != nullptr && r_cache_no_ == pno) {
+      return r_cache_page_;
+    }
+    const auto it = mem_.find(pno);
+    if (it == mem_.end()) return nullptr;
+    r_cache_no_ = pno;
+    r_cache_page_ = &it->second;
+    return r_cache_page_;
+  }
+  Page& touch_page(Addr a) {
+    const Addr pno = a / kPageBytes;
+    if (w_cache_page_ != nullptr && w_cache_no_ == pno) {
+      return *w_cache_page_;
+    }
+    Page& p = mem_[pno];  // zero-filled on first touch
+    w_cache_no_ = pno;
+    w_cache_page_ = &p;
+    return p;
+  }
+
   Link& link_;
   MemoryConfig cfg_;
-  std::unordered_map<Addr, std::uint8_t> mem_;
+  std::unordered_map<Addr, Page> mem_;  ///< keyed on page number
+  mutable Addr r_cache_no_ = 0;
+  mutable const Page* r_cache_page_ = nullptr;
+  Addr w_cache_no_ = 0;
+  Page* w_cache_page_ = nullptr;
 
   std::deque<WriteTxn> write_q_;
   std::deque<PendingB> b_q_;

@@ -74,12 +74,15 @@ class Simulator {
   /// context is held weakly on the module side, so destruction order
   /// between module and simulator is unconstrained — but the registry
   /// never self-cleans, so do not settle()/step() after a registered
-  /// module has been destroyed.
+  /// module has been destroyed. Compound modules (Module::
+  /// visit_submodules) have their internal shards registered
+  /// recursively, right after the facade itself.
   void add(Module& m) {
     m.bind_context(ctx_);
     modules_.push_back(&m);
     sched_idx_.push_back(sched_.register_module(m));
     settled_ = false;
+    m.visit_submodules([this](Module& sub) { add(sub); });
   }
 
   /// Registers a callback run after every settled cycle (tracing, probes).

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -35,6 +36,16 @@ class Module {
   /// entirely. Only override to false when eval() is NOT overridden —
   /// a combinational output behind a false here would never propagate.
   virtual bool is_combinational() const { return true; }
+
+  /// Compound modules — a facade that decomposes its work across
+  /// internal shard modules (e.g. the sharded AXI crossbar) — override
+  /// this to expose the shards. Simulator::add() visits them recursively
+  /// and registers each alongside the parent, so user code keeps adding
+  /// the facade alone. The parent is responsible for the shards'
+  /// lifetime; visiting order is the registration (tie-break) order.
+  virtual void visit_submodules(const std::function<void(Module&)>& visit) {
+    (void)visit;
+  }
 
   /// Queried by the event-driven scheduler right after every tick():
   /// may this clock edge have changed state that eval() depends on?

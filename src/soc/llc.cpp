@@ -119,7 +119,7 @@ void LastLevelCache::tick() {
     write_line_beat(a, uq.w.data, uq.w.strb, /*allocate=*/false);
     ++beats_got;
     if (uq.w.last || beats_got == axi::beats(aw.len)) {
-      open_writes_.erase(open_writes_.begin());
+      open_writes_.pop_front();
     }
   }
 
@@ -154,7 +154,7 @@ void LastLevelCache::tick() {
       HitRead& h = hit_q_.front();
       ++h.next_beat;
       if (h.next_beat == axi::beats(h.ar.len)) {
-        hit_q_.erase(hit_q_.begin());
+        hit_q_.pop_front();
       }
     }
   }

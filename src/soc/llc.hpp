@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -89,9 +90,9 @@ class LastLevelCache : public sim::Module {
   std::vector<std::uint64_t> tags_;
   std::vector<std::uint8_t> data_;
 
-  std::vector<HitRead> hit_q_;     ///< reads served from the cache
-  std::vector<MissRead> miss_q_;   ///< reads in flight to memory
-  std::vector<OpenWrite> open_writes_;  ///< write-through beat tracking
+  std::deque<HitRead> hit_q_;     ///< reads served from the cache
+  std::deque<MissRead> miss_q_;   ///< reads in flight to memory
+  std::deque<OpenWrite> open_writes_;  ///< write-through beat tracking
   std::uint64_t hits_ = 0, misses_ = 0;
   std::uint64_t cycle_ = 0;
   bool tick_evt_ = true;  ///< last tick touched eval-relevant state

@@ -142,7 +142,7 @@ void WriteGuard::pulse_counters(std::uint64_t cycle) {
   // Measured per-phase cycle counts advance every clock; the watchdog
   // counters advance on prescaler pulses only.
   const bool pulse = prescaler_.tick();
-  for (int idx : ott_.active()) {
+  for (const int idx : ott_.order()) {  // no per-tick snapshot alloc
     LdEntry& e = ott_.at(idx);
     if (!e.valid) continue;
     const unsigned pi = cfg_->variant == Variant::kFullCounter
@@ -370,7 +370,7 @@ void ReadGuard::complete(int idx, std::uint64_t cycle) {
 
 void ReadGuard::pulse_counters(std::uint64_t cycle) {
   const bool pulse = prescaler_.tick();
-  for (int idx : ott_.active()) {
+  for (const int idx : ott_.order()) {  // no per-tick snapshot alloc
     LdEntry& e = ott_.at(idx);
     if (!e.valid) continue;
     const unsigned pi = cfg_->variant == Variant::kFullCounter

@@ -126,11 +126,6 @@ class Ott {
     return n;
   }
 
-  /// All valid LD indices, enqueue order.
-  std::vector<int> active() const {
-    return std::vector<int>(ei_.begin(), ei_.end());
-  }
-
   void clear() {
     for (auto& e : ld_) e = LdEntry{};
     for (auto& h : ht_) h = HtEntry{};

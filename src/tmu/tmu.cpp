@@ -75,14 +75,14 @@ void Tmu::enter_severed() {
   // Abort every *accepted* outstanding transaction with SLVERR; drop
   // entries whose address handshake never completed (the manager still
   // holds valid and will be re-admitted after recovery).
-  for (int idx : wg_.ott().active()) {
+  for (const int idx : wg_.ott().order()) {
     const LdEntry& e = wg_.ott().at(idx);
     if (!e.valid || !e.accepted) continue;
     abort_b_.push_back(AbortB{e.orig_id});
     const unsigned total = axi::beats(e.len);
     if (e.beats < total) undrained_beats_ += total - e.beats;
   }
-  for (int idx : rg_.ott().active()) {
+  for (const int idx : rg_.ott().order()) {
     const LdEntry& e = rg_.ott().at(idx);
     if (!e.valid || !e.accepted) continue;
     const unsigned total = axi::beats(e.len);
