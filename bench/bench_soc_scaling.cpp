@@ -18,6 +18,8 @@
 #include "axi/crossbar.hpp"
 #include "bench_util.hpp"
 #include "sim/logger.hpp"
+#include "soc/builder.hpp"
+#include "soc/topologies.hpp"
 
 using area::paper_config_area;
 using sim::sched::SchedPolicy;
@@ -115,63 +117,33 @@ BENCHMARK(BM_PolicyEval);
 // ------------------------------------------------------------------
 
 /// n managers -> one crossbar -> m memory subordinates, each
-/// subordinate owning a 64 KiB window. `active` managers generate
-/// random traffic; the rest idle (quiet endpoints of a big SoC).
-struct GridSoc {
-  std::vector<std::unique_ptr<axi::Link>> mgr_links, sub_links;
-  std::vector<std::unique_ptr<axi::TrafficGenerator>> gens;
-  std::vector<std::unique_ptr<axi::MemorySubordinate>> mems;
-  std::unique_ptr<axi::Crossbar> xbar;
-  sim::Simulator s;
+/// subordinate owning a 64 KiB window; `active` managers generate
+/// random traffic, the rest idle (quiet endpoints of a big SoC). The
+/// topology is the shared soc::grid_desc() — this bench only picks the
+/// scheduler policy and crossbar implementation per variant.
+std::unique_ptr<soc::Soc> make_grid(unsigned n_mgr, unsigned n_sub,
+                                    unsigned active, SchedPolicy policy,
+                                    axi::XbarImpl impl) {
+  soc::SocDesc d = soc::grid_desc(n_mgr, n_sub, active);
+  d.policy = policy;
+  d.xbar_impl = impl;
+  return soc::SocBuilder::build(d);
+}
 
-  GridSoc(unsigned n_mgr, unsigned n_sub, unsigned active,
-          SchedPolicy policy, axi::XbarImpl impl = axi::XbarImpl::kSharded)
-      : s(policy) {
-    std::vector<axi::Link*> mgr_ptrs, sub_ptrs;
-    std::vector<axi::AddrRange> map;
-    for (unsigned i = 0; i < n_mgr; ++i) {
-      mgr_links.push_back(std::make_unique<axi::Link>());
-      mgr_ptrs.push_back(mgr_links.back().get());
-      gens.push_back(std::make_unique<axi::TrafficGenerator>(
-          "gen" + std::to_string(i), *mgr_links.back(), 1000 + i));
-    }
-    for (unsigned j = 0; j < n_sub; ++j) {
-      sub_links.push_back(std::make_unique<axi::Link>());
-      sub_ptrs.push_back(sub_links.back().get());
-      mems.push_back(std::make_unique<axi::MemorySubordinate>(
-          "mem" + std::to_string(j), *sub_links.back()));
-      map.push_back(axi::AddrRange{j * 0x1'0000ull, 0x1'0000ull, j});
-    }
-    xbar = std::make_unique<axi::Crossbar>("xbar", mgr_ptrs, sub_ptrs, map,
-                                           /*id_shift=*/8, impl);
-    for (auto& g : gens) s.add(*g);
-    s.add(*xbar);
-    for (auto& m : mems) s.add(*m);
-    s.reset();
-    for (unsigned i = 0; i < active && i < n_mgr; ++i) {
-      axi::RandomTrafficConfig rc;
-      rc.enabled = true;
-      rc.p_new_txn = 0.25;
-      rc.len_max = 7;
-      rc.addr_min = 0;
-      rc.addr_max = n_sub * 0x1'0000ull - 8;
-      gens[i]->set_random(rc);
-    }
+std::size_t grid_completed(soc::Soc& g) {
+  std::size_t n = 0;
+  for (const soc::ManagerDesc& m : g.desc().managers) {
+    n += g.get<axi::TrafficGenerator>(m.name).completed();
   }
-
-  std::size_t completed() const {
-    std::size_t n = 0;
-    for (const auto& g : gens) n += g->completed();
-    return n;
-  }
-};
+  return n;
+}
 
 double grid_rate(unsigned n_mgr, unsigned n_sub, unsigned active,
                  SchedPolicy policy, axi::XbarImpl impl,
                  std::uint64_t cycles) {
-  GridSoc g(n_mgr, n_sub, active, policy, impl);
+  const auto g = make_grid(n_mgr, n_sub, active, policy, impl);
   const auto t0 = std::chrono::steady_clock::now();
-  g.s.run(cycles);
+  g->sim().run(cycles);
   const std::chrono::duration<double> dt =
       std::chrono::steady_clock::now() - t0;
   return static_cast<double>(cycles) / dt.count();
@@ -214,9 +186,10 @@ void BM_GridSoc(benchmark::State& state) {
                                                  : SchedPolicy::kEventDriven;
   const axi::XbarImpl impl = state.range(3) == 0 ? axi::XbarImpl::kMonolithic
                                                  : axi::XbarImpl::kSharded;
-  GridSoc g(n_mgr, n_sub, n_mgr >= 4 ? n_mgr / 4 : 1, policy, impl);
+  const auto g =
+      make_grid(n_mgr, n_sub, n_mgr >= 4 ? n_mgr / 4 : 1, policy, impl);
   for (auto _ : state) {
-    g.s.run(100);
+    g->sim().run(100);
   }
   state.SetLabel(std::string(sim::sched::to_string(policy)) + "/" +
                  to_string(impl));
@@ -243,21 +216,24 @@ int run_smoke() {
   int failures = 0;
   for (const auto& [n_mgr, n_sub] : {std::pair{4u, 3u}, std::pair{8u, 6u}}) {
     const unsigned active = n_mgr / 4;
-    GridSoc mono(n_mgr, n_sub, active, SchedPolicy::kEventDriven,
-                 axi::XbarImpl::kMonolithic);
-    GridSoc shard(n_mgr, n_sub, active, SchedPolicy::kEventDriven,
-                  axi::XbarImpl::kSharded);
-    GridSoc sweep(n_mgr, n_sub, active, SchedPolicy::kFullSweep,
-                  axi::XbarImpl::kSharded);
-    mono.s.run(500);
-    shard.s.run(500);
-    sweep.s.run(500);
-    const bool ok = shard.completed() == mono.completed() &&
-                    sweep.completed() == mono.completed() &&
-                    mono.completed() > 0;
+    const auto mono = make_grid(n_mgr, n_sub, active,
+                                SchedPolicy::kEventDriven,
+                                axi::XbarImpl::kMonolithic);
+    const auto shard = make_grid(n_mgr, n_sub, active,
+                                 SchedPolicy::kEventDriven,
+                                 axi::XbarImpl::kSharded);
+    const auto sweep = make_grid(n_mgr, n_sub, active,
+                                 SchedPolicy::kFullSweep,
+                                 axi::XbarImpl::kSharded);
+    mono->sim().run(500);
+    shard->sim().run(500);
+    sweep->sim().run(500);
+    const std::size_t done = grid_completed(*mono);
+    const bool ok = grid_completed(*shard) == done &&
+                    grid_completed(*sweep) == done && done > 0;
     std::printf("smoke %ux%u: mono=%zu sharded=%zu sharded/full=%zu %s\n",
-                n_mgr, n_sub, mono.completed(), shard.completed(),
-                sweep.completed(), ok ? "OK" : "MISMATCH");
+                n_mgr, n_sub, done, grid_completed(*shard),
+                grid_completed(*sweep), ok ? "OK" : "MISMATCH");
     if (!ok) ++failures;
   }
   return failures == 0 ? 0 : 1;

@@ -1,51 +1,20 @@
 // Mixed-criticality deployment (§IV): the TMU's configurability permits
 // mixing Tiny-Counter and Full-Counter monitors within the same SoC,
-// tailoring overhead and detection granularity per subordinate. Here a
-// safety-critical endpoint gets an Fc monitor, a best-effort endpoint a
-// Tc monitor; both catch a stall, at different latency and area cost.
+// tailoring overhead and detection granularity per subordinate. Here
+// ONE SoC desc declares two managers behind a crossbar and two guarded
+// endpoints — a safety-critical one under an Fc monitor, a best-effort
+// one under a Tc monitor; both catch a simultaneous stall, at different
+// latency and area cost.
 //
 // Build & run:  ./build/examples/mixed_criticality
 
 #include <cstdio>
 
 #include "area/area_model.hpp"
-#include "axi/link.hpp"
-#include "axi/memory.hpp"
 #include "axi/traffic_gen.hpp"
 #include "fault/injector.hpp"
-#include "sim/kernel.hpp"
-#include "soc/reset_unit.hpp"
+#include "soc/builder.hpp"
 #include "tmu/tmu.hpp"
-
-namespace {
-
-struct MonitoredEndpoint {
-  axi::Link l_gen, l_tmu_sub, l_mem;
-  axi::TrafficGenerator gen;
-  tmu::Tmu tmu;
-  fault::FaultInjector inj;
-  axi::MemorySubordinate mem;
-  soc::ResetUnit rst;
-
-  MonitoredEndpoint(const std::string& name, const tmu::TmuConfig& cfg,
-                    std::uint64_t seed)
-      : gen(name + ".gen", l_gen, seed),
-        tmu(name + ".tmu", l_gen, l_tmu_sub, cfg),
-        inj(name + ".inj", l_tmu_sub, l_mem),
-        mem(name + ".mem", l_mem),
-        rst(name + ".rst", tmu.reset_req, tmu.reset_ack,
-            [this] { mem.hw_reset(); }) {}
-
-  void add_to(sim::Simulator& s) {
-    s.add(gen);
-    s.add(tmu);
-    s.add(inj);
-    s.add(mem);
-    s.add(rst);
-  }
-};
-
-}  // namespace
 
 int main() {
   using namespace axi;
@@ -63,26 +32,51 @@ int main() {
   tc_cfg.sticky_bit = true;
   tc_cfg.adaptive.enabled = true;
 
-  MonitoredEndpoint critical("critical", fc_cfg, 7);
-  MonitoredEndpoint best_effort("best_effort", tc_cfg, 8);
+  // The whole deployment is one desc: managers, windows, guards.
+  soc::SocDesc d;
+  d.name = "mixed_criticality";
+  for (const auto& [who, seed] :
+       {std::pair{"critical", 7}, std::pair{"best_effort", 8}}) {
+    soc::ManagerDesc m;
+    m.name = std::string(who) + ".gen";
+    m.seed = static_cast<std::uint64_t>(seed);
+    d.managers.push_back(m);
 
-  sim::Simulator s;
-  critical.add_to(s);
-  best_effort.add_to(s);
-  s.reset();
+    soc::SubordinateDesc s;
+    s.name = std::string(who) + ".mem";
+    s.base = d.subordinates.size() * 0x1'0000ull;
+    s.size = 0x1'0000ull;
+    d.subordinates.push_back(s);
+
+    soc::GuardDesc g;
+    g.name = std::string(who) + ".tmu";
+    g.subordinate = s.name;
+    g.cfg = d.guards.empty() ? fc_cfg : tc_cfg;
+    g.sub_injector = std::string(who) + ".inj";
+    g.reset_unit = std::string(who) + ".rst";
+    d.guards.push_back(g);
+  }
+
+  const auto soc = soc::SocBuilder::build(d);
+  sim::Simulator& s = soc->sim();
+  auto& crit_gen = soc->get<TrafficGenerator>("critical.gen");
+  auto& be_gen = soc->get<TrafficGenerator>("best_effort.gen");
+  auto& crit_tmu = soc->get<tmu::Tmu>("critical.tmu");
+  auto& be_tmu = soc->get<tmu::Tmu>("best_effort.tmu");
 
   // Both endpoints hang their response path at the same instant.
-  critical.inj.arm(fault::FaultPoint::kBValidStuck);
-  best_effort.inj.arm(fault::FaultPoint::kBValidStuck);
-  critical.gen.push(TxnDesc{true, 0, 0x100, 3, 3, Burst::kIncr});
-  best_effort.gen.push(TxnDesc{true, 0, 0x100, 3, 3, Burst::kIncr});
+  soc->get<fault::FaultInjector>("critical.inj")
+      .arm(fault::FaultPoint::kBValidStuck);
+  soc->get<fault::FaultInjector>("best_effort.inj")
+      .arm(fault::FaultPoint::kBValidStuck);
+  crit_gen.push(TxnDesc{true, 0, 0x0'0100, 3, 3, Burst::kIncr});
+  be_gen.push(TxnDesc{true, 0, 0x1'0100, 3, 3, Burst::kIncr});
 
-  s.run_until(
-      [&] { return critical.tmu.any_fault() && best_effort.tmu.any_fault(); },
-      5000);
+  s.run_until([&] { return crit_tmu.any_fault() && be_tmu.any_fault(); },
+              5000);
 
-  const auto& fc_fault = critical.tmu.fault_log().front();
-  const auto& tc_fault = best_effort.tmu.fault_log().front();
+  const auto& fc_fault = crit_tmu.fault_log().front();
+  const auto& tc_fault = be_tmu.fault_log().front();
   std::printf("critical (Fc)    : detected at cycle %llu — %s\n",
               static_cast<unsigned long long>(fc_fault.cycle),
               fc_fault.describe().c_str());
@@ -100,5 +94,12 @@ int main() {
               "budget; the prescaled Tc instance reports at the (coarser)\n"
               "transaction budget for ~%.0f%% of the area.\n",
               100.0 * tc_area / fc_area);
+
+  // Topology is data: the same deployment can ship to a campaign worker.
+  std::printf("\ndesc '%s': %zu managers, %zu guarded endpoints, "
+              "topology hash %016llx\n",
+              soc->desc().name.c_str(), soc->desc().managers.size(),
+              soc->desc().guards.size(),
+              static_cast<unsigned long long>(soc->desc().hash()));
   return 0;
 }

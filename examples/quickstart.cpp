@@ -1,5 +1,6 @@
-// Quickstart: drop a TMU between a manager and a subordinate, run
-// healthy traffic, then watch it catch a hung subordinate and recover.
+// Quickstart: describe a TMU-guarded endpoint as data, build it with
+// SocBuilder, run healthy traffic, then watch the TMU catch a hung
+// subordinate and recover.
 //
 //   gen --- [TMU] --- [fault injector] --- memory
 //              |
@@ -9,40 +10,46 @@
 
 #include <cstdio>
 
-#include "axi/link.hpp"
-#include "axi/memory.hpp"
 #include "axi/traffic_gen.hpp"
 #include "fault/injector.hpp"
-#include "sim/kernel.hpp"
+#include "soc/builder.hpp"
 #include "soc/reset_unit.hpp"
 #include "tmu/tmu.hpp"
 
 int main() {
   using namespace axi;
 
-  // --- 1. configure the TMU (Full-Counter, phase-level monitoring) ---
-  tmu::TmuConfig cfg;
-  cfg.variant = tmu::Variant::kFullCounter;
-  cfg.max_uniq_ids = 4;      // Table I: MaxUniqIDs
-  cfg.txn_per_uniq_id = 4;   // Table I: TxnPerUniqID
-  cfg.adaptive.enabled = true;
+  // --- 1. describe the topology (data, not wiring) ---
+  soc::SocDesc d;
+  d.name = "quickstart";
+  d.crossbar = false;  // point-to-point: gen straight into the chain
 
-  // --- 2. build the bench ---
-  Link l_gen, l_tmu_sub, l_mem;
-  TrafficGenerator gen("gen", l_gen);
-  tmu::Tmu tmu("tmu", l_gen, l_tmu_sub, cfg);
-  fault::FaultInjector inj("inj", l_tmu_sub, l_mem);
-  MemorySubordinate mem("mem", l_mem);
-  soc::ResetUnit rst("rst", tmu.reset_req, tmu.reset_ack,
-                     [&] { mem.hw_reset(); });
+  soc::ManagerDesc gen_d;
+  gen_d.name = "gen";
+  d.managers = {gen_d};
 
-  sim::Simulator s;
-  s.add(gen);
-  s.add(tmu);
-  s.add(inj);
-  s.add(mem);
-  s.add(rst);
-  s.reset();
+  soc::SubordinateDesc mem_d;
+  mem_d.name = "mem";
+  d.subordinates = {mem_d};
+
+  soc::GuardDesc guard;  // Full-Counter TMU, phase-level monitoring
+  guard.name = "tmu";
+  guard.subordinate = "mem";
+  guard.cfg.variant = tmu::Variant::kFullCounter;
+  guard.cfg.max_uniq_ids = 4;     // Table I: MaxUniqIDs
+  guard.cfg.txn_per_uniq_id = 4;  // Table I: TxnPerUniqID
+  guard.cfg.adaptive.enabled = true;
+  guard.sub_injector = "inj";  // fault injector behind the TMU
+  guard.reset_unit = "rst";
+  d.guards = {guard};
+
+  // --- 2. build it: validation, wiring, simulator registration ---
+  const auto soc = soc::SocBuilder::build(d);
+  sim::Simulator& s = soc->sim();
+  auto& gen = soc->get<TrafficGenerator>("gen");
+  auto& tmu = soc->get<tmu::Tmu>("tmu");
+  auto& inj = soc->get<fault::FaultInjector>("inj");
+  auto& rst = soc->get<soc::ResetUnit>("rst");
 
   // --- 3. healthy traffic: the TMU is a transparent observer ---
   for (int i = 0; i < 8; ++i) {

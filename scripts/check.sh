@@ -33,6 +33,13 @@ echo "check.sh: event-driven vs full-sweep equivalence OK"
 ./build/test_xbar_shard_equiv --gtest_brief=1
 echo "check.sh: sharded vs monolithic crossbar equivalence OK"
 
+# Topology gate: the SocBuilder elaboration of cheshire_desc() must be
+# cycle-exact against the legacy hand-wired construction (wire-for-wire
+# lockstep through fault + recovery) and the builder-based fault trial
+# must match the hand-wired IP testbench result-for-result.
+./build/test_soc_desc_equiv --gtest_brief=1
+echo "check.sh: builder vs hand-wired topology equivalence OK"
+
 # Scaling-bench smoke: the grid SoC sweep must construct and run at
 # small sizes with deterministic cross-implementation traffic counts.
 ./build/bench_soc_scaling --smoke

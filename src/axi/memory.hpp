@@ -24,6 +24,7 @@ struct MemoryConfig {
   std::size_t max_outstanding = 16;     ///< per direction
   /// Addresses in [error_base, error_end) respond SLVERR.
   Addr error_base = 0, error_end = 0;
+  bool operator==(const MemoryConfig&) const = default;
 };
 
 /// AXI4 memory subordinate with sparse byte storage and configurable

@@ -44,6 +44,7 @@ struct RandomTrafficConfig {
   Addr addr_min = 0, addr_max = 0xFFFF;
   std::uint8_t len_min = 0, len_max = 7;
   std::uint8_t size = 3;
+  bool operator==(const RandomTrafficConfig&) const = default;
 };
 
 /// Deterministic write-data pattern so reads can be verified end to end.

@@ -8,6 +8,7 @@
 #include "axi/traffic_gen.hpp"
 #include "fault/injector.hpp"
 #include "sim/stats.hpp"
+#include "soc/topologies.hpp"
 #include "tmu/config.hpp"
 
 /// Parallel Monte-Carlo fault-campaign engine (§III-A.3: "injecting
@@ -25,6 +26,16 @@ namespace campaign {
 /// One independent Monte-Carlo trial. `point == kNone` is a healthy
 /// soak (no fault armed; any flag is a false positive).
 struct TrialSpec {
+  /// Topology the trial runs on, rebuilt per trial through SocBuilder
+  /// (serializable, so a remote shard can reconstruct the exact
+  /// netlist). Defaults to the Fig. 8/9 IP-level testbench. The trial
+  /// drives the first manager (a traffic_gen) and monitors the first
+  /// guard; `cfg` below overrides that guard's TMU config, the
+  /// engine-derived `seed` overrides that manager's seed, and an
+  /// enabled `traffic` overrides that manager's traffic mode (a
+  /// disabled one keeps whatever the desc configured), so one topology
+  /// serves a whole config sweep.
+  soc::SocDesc desc = soc::ip_testbench_desc();
   tmu::TmuConfig cfg;
   fault::FaultPoint point = fault::FaultPoint::kNone;
   axi::RandomTrafficConfig traffic;
@@ -53,10 +64,13 @@ struct TrialResult {
 
 using TrialFn = std::function<TrialResult(const TrialSpec&)>;
 
-/// Standard IP-level fault trial: traffic gen -> manager-side injector
+/// Standard fault trial: elaborates spec.desc through SocBuilder (by
+/// default the Fig. 8/9 testbench: traffic gen -> manager-side injector
 /// -> TMU -> subordinate-side injector -> memory, with the external
-/// reset unit — the Fig. 8/9 testbench. Builds a private netlist, so it
-/// is safe to run on any worker thread.
+/// reset unit), drives the first manager and injects at the first
+/// guard. Builds a private netlist, so it is safe to run on any worker
+/// thread. Throws std::invalid_argument if the desc lacks a leading
+/// traffic_gen manager, a guard, or the injector the fault point needs.
 TrialResult run_fault_trial(const TrialSpec& spec);
 
 /// A labelled group of trials (e.g. one variant x fault-point pair).
@@ -72,6 +86,11 @@ Scenario make_scenario(std::string label, const TrialSpec& proto,
 
 struct ScenarioSummary {
   std::string label;
+  /// Topology fingerprint of the scenario's trials (name/hash of the
+  /// first trial's desc; "mixed"/0 when trials disagree) — so a report
+  /// merged from remote shards still says what each slice ran on.
+  std::string topology;
+  std::uint64_t topology_hash = 0;
   std::uint64_t trials = 0;
   std::uint64_t detected = 0;
   std::uint64_t recovered = 0;
@@ -101,7 +120,7 @@ struct Report {
   std::uint64_t total_trials() const { return results.size(); }
   std::uint64_t total_cycles() const;
 
-  /// Deterministic JSON (schema tmu-campaign-report-v1; see README).
+  /// Deterministic JSON (schema tmu-campaign-report-v2; see README).
   std::string to_json() const;
   /// Writes to_json() to `path`; returns false on I/O failure.
   bool write_json(const std::string& path) const;

@@ -3,17 +3,20 @@
 #include <atomic>
 #include <chrono>
 #include <cinttypes>
-#include <cstdarg>
-#include <cstdio>
 #include <exception>
 #include <fstream>
 #include <mutex>
 #include <sstream>
 #include <thread>
 
+#include "sim/jsonfmt.hpp"
+
 namespace campaign {
 
 namespace {
+
+using sim::jsonfmt::append_f;
+using sim::jsonfmt::json_escape;
 
 /// SplitMix64 finalizer: decorrelates (base_seed, trial index) pairs so
 /// neighbouring trials get unrelated RNG streams.
@@ -22,33 +25,6 @@ std::uint64_t mix64(std::uint64_t x) {
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
   x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
   return x ^ (x >> 31);
-}
-
-void append_f(std::string& out, const char* fmt, ...) {
-  char buf[256];
-  va_list ap;
-  va_start(ap, fmt);
-  std::vsnprintf(buf, sizeof buf, fmt, ap);
-  va_end(ap);
-  out += buf;
-}
-
-/// Minimal JSON string escape (labels are ASCII identifiers in practice).
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
-      out += buf;
-    } else {
-      out += c;
-    }
-  }
-  return out;
 }
 
 }  // namespace
@@ -76,6 +52,12 @@ void append_summary_fields(std::string& out, const ScenarioSummary& sc,
   append_f(out, "%s\"label\": \"", indent);
   out += json_escape(sc.label);
   out += "\",\n";
+  append_f(out, "%s\"topology\": \"", indent);
+  out += json_escape(sc.topology);
+  out += "\",\n";
+  // Hex string: JSON numbers are doubles downstream, the hash is 64-bit.
+  append_f(out, "%s\"topology_hash\": \"%016" PRIx64 "\",\n", indent,
+           sc.topology_hash);
   append_f(out, "%s\"trials\": %" PRIu64 ",\n", indent, sc.trials);
   append_f(out, "%s\"detected\": %" PRIu64 ",\n", indent, sc.detected);
   append_f(out, "%s\"recovered\": %" PRIu64 ",\n", indent, sc.recovered);
@@ -102,7 +84,7 @@ void append_summary_fields(std::string& out, const ScenarioSummary& sc,
 std::string Report::to_json() const {
   std::string out;
   out += "{\n";
-  append_f(out, "  \"schema\": \"tmu-campaign-report-v1\",\n");
+  append_f(out, "  \"schema\": \"tmu-campaign-report-v2\",\n");
   append_f(out, "  \"base_seed\": %" PRIu64 ",\n", base_seed);
   append_f(out, "  \"total_trials\": %" PRIu64 ",\n", total_trials());
   append_f(out, "  \"total_cycles\": %" PRIu64 ",\n", total_cycles());
@@ -202,6 +184,25 @@ Report Engine::run(const std::vector<Scenario>& scenarios,
   rep.scenarios.resize(scenarios.size());
   for (std::size_t si = 0; si < scenarios.size(); ++si) {
     rep.scenarios[si].label = scenarios[si].label;
+    // Topology fingerprint (forward-compat for remote shards): which
+    // desc this scenario's trials elaborated. Scenarios are free to mix
+    // topologies; the summary then says so instead of guessing.
+    // Trials are compared structurally (operator==, allocation-free);
+    // the canonical-JSON hash is computed once per scenario.
+    const soc::SocDesc* first = nullptr;
+    bool mixed = false;
+    for (const TrialSpec& t : scenarios[si].trials) {
+      if (first == nullptr) {
+        first = &t.desc;
+      } else if (!(t.desc == *first)) {
+        mixed = true;
+        break;
+      }
+    }
+    rep.scenarios[si].topology =
+        mixed ? "mixed" : (first != nullptr ? first->name : "");
+    rep.scenarios[si].topology_hash =
+        mixed || first == nullptr ? 0 : first->hash();
   }
   for (std::size_t i = 0; i < specs.size(); ++i) {
     ScenarioSummary& sc = rep.scenarios[scenario_of[i]];
@@ -227,6 +228,17 @@ Report Engine::run(const std::vector<Scenario>& scenarios,
   // histogram), and the scenario order is fixed, so this too is
   // identical across thread counts.
   rep.overall.label = "overall";
+  for (std::size_t si = 0; si < rep.scenarios.size(); ++si) {
+    const ScenarioSummary& sc = rep.scenarios[si];
+    if (si == 0) {
+      rep.overall.topology = sc.topology;
+      rep.overall.topology_hash = sc.topology_hash;
+    } else if (sc.topology_hash != rep.overall.topology_hash ||
+               sc.topology != rep.overall.topology) {
+      rep.overall.topology = "mixed";
+      rep.overall.topology_hash = 0;
+    }
+  }
   for (const ScenarioSummary& sc : rep.scenarios) {
     rep.overall.trials += sc.trials;
     rep.overall.detected += sc.detected;

@@ -1,33 +1,42 @@
-#include "campaign/campaign.hpp"
+#include <stdexcept>
 
-#include "axi/link.hpp"
-#include "axi/memory.hpp"
+#include "campaign/campaign.hpp"
 #include "sim/kernel.hpp"
 #include "sim/random.hpp"
-#include "soc/reset_unit.hpp"
+#include "soc/builder.hpp"
 #include "tmu/tmu.hpp"
 
 namespace campaign {
 
 TrialResult run_fault_trial(const TrialSpec& spec) {
-  // Private netlist per trial: the Fig. 8/9 IP-level testbench. Nothing
-  // escapes this stack frame, so trials are safe on any worker thread.
-  axi::Link l_gen, l_tmu_mst, l_tmu_sub, l_mem;
-  axi::TrafficGenerator gen("gen", l_gen, spec.seed);
-  fault::FaultInjector inj_m("inj_m", l_gen, l_tmu_mst);
-  tmu::Tmu t("tmu", l_tmu_mst, l_tmu_sub, spec.cfg);
-  fault::FaultInjector inj_s("inj_s", l_tmu_sub, l_mem);
-  axi::MemorySubordinate mem("mem", l_mem);
-  soc::ResetUnit rst("rst", t.reset_req, t.reset_ack, [&] { mem.hw_reset(); });
-  sim::Simulator s;
-  s.add(gen);
-  s.add(inj_m);
-  s.add(t);
-  s.add(inj_s);
-  s.add(mem);
-  s.add(rst);
-  s.reset();
-  gen.set_random(spec.traffic);
+  // Private netlist per trial, elaborated from the spec's topology desc
+  // (default: the Fig. 8/9 IP-level testbench). Nothing escapes this
+  // stack frame, so trials are safe on any worker thread.
+  soc::SocDesc d = spec.desc;
+  if (d.managers.empty() ||
+      d.managers.front().kind != soc::ManagerKind::kTrafficGen) {
+    throw std::invalid_argument(
+        "run_fault_trial: desc '" + d.name +
+        "' needs a traffic_gen manager in first position to drive");
+  }
+  if (d.guards.empty()) {
+    throw std::invalid_argument("run_fault_trial: desc '" + d.name +
+                                "' declares no guard (TMU) to monitor");
+  }
+  d.managers.front().seed = spec.seed;
+  d.guards.front().cfg = spec.cfg;
+
+  const std::unique_ptr<soc::Soc> soc = soc::SocBuilder::build(d);
+  sim::Simulator& s = soc->sim();
+  axi::TrafficGenerator& gen =
+      soc->get<axi::TrafficGenerator>(d.managers.front().name);
+  const soc::GuardDesc& guard = d.guards.front();
+  tmu::Tmu& t = soc->get<tmu::Tmu>(guard.name);
+  // spec.traffic drives the trial; a default (disabled) spec must not
+  // clobber the traffic mode a custom desc configured for its manager.
+  if (spec.traffic.enabled || !d.managers.front().traffic.enabled) {
+    gen.set_random(spec.traffic);
+  }
 
   TrialResult r;
 
@@ -37,12 +46,22 @@ TrialResult run_fault_trial(const TrialSpec& spec) {
     r.detected = t.any_fault();
     if (r.detected) r.detect_cycle = t.fault_log().front().cycle;
   } else {
+    const bool mgr_side = fault::is_manager_side(spec.point);
+    const std::string& inj_name =
+        mgr_side ? guard.mgr_injector : guard.sub_injector;
+    if (inj_name.empty()) {
+      throw std::invalid_argument(
+          std::string("run_fault_trial: fault point ") +
+          to_string(spec.point) + " needs a " +
+          (mgr_side ? "mgr_injector" : "sub_injector") + " on guard '" +
+          guard.name + "' of desc '" + d.name + "'");
+    }
+    fault::FaultInjector& inj = soc->get<fault::FaultInjector>(inj_name);
+
     // Decorrelate the injection-delay draw from the traffic stream.
     sim::Rng rng(spec.seed ^ 0xD1B54A32D192ED03ull);
     r.inject_delay =
         spec.inject_delay_max != 0 ? rng.range(0, spec.inject_delay_max) : 0;
-    fault::FaultInjector& inj =
-        fault::is_manager_side(spec.point) ? inj_m : inj_s;
     inj.arm(spec.point, r.inject_delay);
     if (s.run_until([&] { return t.any_fault(); },
                     r.inject_delay + spec.detect_budget)) {

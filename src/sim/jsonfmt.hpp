@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+/// Shared helpers for the repo's hand-rolled deterministic JSON
+/// emitters (campaign reports, SocDesc documents). Both schemas depend
+/// on byte-exact output — the campaign report is diffed across thread
+/// counts and the SocDesc hash is FNV-1a over the emitted text — so the
+/// escaping rules live in exactly one place.
+namespace sim::jsonfmt {
+
+__attribute__((format(printf, 2, 3))) inline void append_f(std::string& out,
+                                                           const char* fmt,
+                                                           ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+/// Minimal JSON string escape: quotes, backslashes and control
+/// characters (emitted fields are ASCII identifiers in practice).
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace sim::jsonfmt

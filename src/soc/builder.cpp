@@ -1,0 +1,309 @@
+// SocDesc validation and elaboration.
+//
+// Canonical registration order (it is part of the topology contract:
+// function-coupled blocks — reset units invoking endpoint hw_reset(),
+// the CPU stub claiming from the PLIC — depend on their relative tick
+// order, and the fault-trial netlist is pinned cycle-exact against the
+// legacy hand-wired testbench):
+//   1. managers, in declaration order
+//   2. the crossbar (when enabled)
+//   3. per subordinate, in declaration order: the guard chain
+//      upstream -> downstream (mgr injector, TMU, sub injector), the
+//      LLC, then the endpoint
+//   4. reset units, in guard declaration order
+//   5. the PLIC, then the CPU recovery stub
+// Wire-coupled blocks are order-insensitive (no model writes wires in
+// tick()), which tests/test_soc_desc_equiv.cpp pins for the Cheshire
+// topology.
+
+#include "soc/builder.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "axi/crossbar.hpp"
+#include "axi/memory.hpp"
+#include "axi/traffic_gen.hpp"
+#include "fault/injector.hpp"
+#include "soc/cpu_stub.hpp"
+#include "soc/ethernet.hpp"
+#include "soc/idma.hpp"
+#include "soc/irq.hpp"
+#include "soc/llc.hpp"
+#include "soc/reset_unit.hpp"
+#include "tmu/tmu.hpp"
+
+namespace soc {
+
+namespace {
+
+std::string llc_name_of(const SubordinateDesc& s) {
+  return s.llc_name.empty() ? s.name + ".llc" : s.llc_name;
+}
+
+/// The guard of subordinate `s`, or nullptr. Uniqueness is validated.
+const GuardDesc* guard_of(const SocDesc& d, const SubordinateDesc& s) {
+  for (const GuardDesc& g : d.guards) {
+    if (g.subordinate == s.name) return &g;
+  }
+  return nullptr;
+}
+
+/// Block sequence of a subordinate chain, upstream to downstream; the
+/// first entry names the chain's head link ("<first>.in").
+std::vector<std::string> chain_blocks(const SocDesc& d,
+                                      const SubordinateDesc& s) {
+  std::vector<std::string> blocks;
+  if (const GuardDesc* g = guard_of(d, s)) {
+    if (!g->mgr_injector.empty()) blocks.push_back(g->mgr_injector);
+    blocks.push_back(g->name);
+    if (!g->sub_injector.empty()) blocks.push_back(g->sub_injector);
+  }
+  if (s.llc) blocks.push_back(llc_name_of(s));
+  blocks.push_back(s.name);
+  return blocks;
+}
+
+}  // namespace
+
+void SocBuilder::validate(const SocDesc& d) {
+  const auto err = [&](const std::string& msg) {
+    throw std::invalid_argument("SocDesc '" + d.name + "': " + msg);
+  };
+
+  if (d.managers.empty()) err("no managers declared");
+  if (d.subordinates.empty()) err("no subordinates declared");
+
+  std::set<std::string> names;
+  const auto claim = [&](const std::string& n, const char* what) {
+    if (n.empty()) err(std::string("a ") + what + " has an empty name");
+    if (!names.insert(n).second) {
+      err("duplicate block name '" + n + "' (second use: " + what + ")");
+    }
+  };
+
+  for (const ManagerDesc& m : d.managers) {
+    claim(m.name, "manager");
+    if (m.kind == ManagerKind::kDmaEngine && m.traffic.enabled) {
+      err("manager '" + m.name +
+          "' is a dma_engine but has random traffic enabled "
+          "(only traffic_gen managers generate random traffic)");
+    }
+  }
+  for (const SubordinateDesc& s : d.subordinates) {
+    claim(s.name, "subordinate");
+    if (s.llc) claim(llc_name_of(s), "llc");
+  }
+  if (d.crossbar) claim(d.xbar_name, "crossbar");
+
+  std::map<std::string, std::string> guard_by_sub;
+  for (const GuardDesc& g : d.guards) {
+    claim(g.name, "guard");
+    if (!g.mgr_injector.empty()) claim(g.mgr_injector, "mgr_injector");
+    if (!g.sub_injector.empty()) claim(g.sub_injector, "sub_injector");
+    if (!g.reset_unit.empty()) claim(g.reset_unit, "reset_unit");
+    const bool known = std::any_of(
+        d.subordinates.begin(), d.subordinates.end(),
+        [&](const SubordinateDesc& s) { return s.name == g.subordinate; });
+    if (!known) {
+      err("guard '" + g.name + "' references unknown subordinate '" +
+          g.subordinate + "'");
+    }
+    const auto [it, fresh] = guard_by_sub.emplace(g.subordinate, g.name);
+    if (!fresh) {
+      err("subordinate '" + g.subordinate +
+          "' is guarded twice, by '" + it->second + "' and '" + g.name + "'");
+    }
+  }
+
+  if (d.recovery.enabled) {
+    claim(d.recovery.plic, "plic");
+    claim(d.recovery.cpu, "cpu");
+    if (d.guards.empty()) {
+      err("recovery block enabled but there are no guards to service");
+    }
+  }
+
+  if (!d.crossbar) {
+    if (d.managers.size() != 1 || d.subordinates.size() != 1) {
+      err("a point-to-point desc (crossbar = false) needs exactly one "
+          "manager and one subordinate, got " +
+          std::to_string(d.managers.size()) + " and " +
+          std::to_string(d.subordinates.size()));
+    }
+    return;  // address windows are ignored without a crossbar
+  }
+
+  for (const SubordinateDesc& s : d.subordinates) {
+    if (s.size == 0) {
+      err("subordinate '" + s.name +
+          "' has an empty address window (unreachable)");
+    }
+    if (s.base + s.size < s.base) {
+      err("subordinate '" + s.name + "' address window wraps the address "
+          "space");
+    }
+  }
+  std::vector<const SubordinateDesc*> by_base;
+  for (const SubordinateDesc& s : d.subordinates) by_base.push_back(&s);
+  std::sort(by_base.begin(), by_base.end(),
+            [](const SubordinateDesc* a, const SubordinateDesc* b) {
+              return a->base < b->base;
+            });
+  for (std::size_t i = 1; i < by_base.size(); ++i) {
+    const SubordinateDesc* lo = by_base[i - 1];
+    const SubordinateDesc* hi = by_base[i];
+    if (lo->base + lo->size > hi->base) {
+      err("address windows of '" + lo->name + "' and '" + hi->name +
+          "' overlap");
+    }
+  }
+}
+
+std::unique_ptr<Soc> SocBuilder::build(const SocDesc& desc) {
+  validate(desc);
+  std::unique_ptr<Soc> soc(new Soc(desc));
+  const SocDesc& d = soc->desc();
+
+  const auto mk_link = [&](const std::string& name) -> axi::Link& {
+    soc->links_.push_back(std::make_unique<axi::Link>());
+    soc->link_by_name_[name] = soc->links_.back().get();
+    return *soc->links_.back();
+  };
+  const auto add = [&](std::unique_ptr<sim::Module> m) -> sim::Module& {
+    sim::Module& ref = *m;
+    soc->by_name_[ref.name()] = &ref;
+    soc->modules_.push_back(std::move(m));
+    return ref;
+  };
+
+  // 1. Managers. Their port links are the crossbar manager ports — or,
+  // point-to-point, the single subordinate chain's head.
+  std::vector<axi::Link*> mgr_ports;
+  for (const ManagerDesc& m : d.managers) {
+    axi::Link& l = mk_link(m.name + ".out");
+    mgr_ports.push_back(&l);
+    if (m.kind == ManagerKind::kTrafficGen) {
+      add(std::make_unique<axi::TrafficGenerator>(m.name, l, m.seed));
+    } else {
+      add(std::make_unique<IdmaEngine>(m.name, l, m.dma_max_burst, m.dma_id));
+    }
+  }
+
+  // 2. Chain head links (the crossbar's subordinate ports), then the
+  // crossbar itself. Point-to-point, the manager's link doubles as the
+  // head (aliased under the chain-naming scheme too).
+  std::vector<axi::Link*> heads;
+  for (const SubordinateDesc& s : d.subordinates) {
+    const std::string head_name = chain_blocks(d, s).front() + ".in";
+    if (d.crossbar) {
+      heads.push_back(&mk_link(head_name));
+    } else {
+      heads.push_back(mgr_ports.front());
+      soc->link_by_name_[head_name] = mgr_ports.front();
+    }
+  }
+  if (d.crossbar) {
+    std::vector<axi::AddrRange> map;
+    for (std::size_t i = 0; i < d.subordinates.size(); ++i) {
+      map.push_back(
+          axi::AddrRange{d.subordinates[i].base, d.subordinates[i].size, i});
+    }
+    add(std::make_unique<axi::Crossbar>(d.xbar_name, mgr_ports, heads, map,
+                                        d.id_shift, d.xbar_impl));
+  }
+
+  // 3. Subordinate chains. Collected per guard for phase 4/5: the TMU
+  // and the guarded endpoint's hw_reset.
+  std::map<std::string, tmu::Tmu*> guard_tmu;
+  std::map<std::string, std::function<void()>> guard_reset_cb;
+  for (std::size_t si = 0; si < d.subordinates.size(); ++si) {
+    const SubordinateDesc& s = d.subordinates[si];
+    const std::vector<std::string> blocks = chain_blocks(d, s);
+    axi::Link* cur = heads[si];
+    std::size_t bi = 0;
+    const auto next_link = [&]() -> axi::Link& {
+      return mk_link(blocks[bi + 1] + ".in");
+    };
+
+    tmu::Tmu* t = nullptr;
+    if (const GuardDesc* g = guard_of(d, s)) {
+      if (!g->mgr_injector.empty()) {
+        axi::Link& nxt = next_link();
+        add(std::make_unique<fault::FaultInjector>(g->mgr_injector, *cur, nxt));
+        cur = &nxt;
+        ++bi;
+      }
+      axi::Link& nxt = next_link();
+      t = &static_cast<tmu::Tmu&>(
+          add(std::make_unique<tmu::Tmu>(g->name, *cur, nxt, g->cfg)));
+      guard_tmu[g->name] = t;
+      cur = &nxt;
+      ++bi;
+      if (!g->sub_injector.empty()) {
+        axi::Link& inxt = next_link();
+        add(std::make_unique<fault::FaultInjector>(g->sub_injector, *cur,
+                                                   inxt));
+        cur = &inxt;
+        ++bi;
+      }
+    }
+    if (s.llc) {
+      axi::Link& nxt = next_link();
+      add(std::make_unique<LastLevelCache>(llc_name_of(s), *cur, nxt,
+                                           s.llc_cfg));
+      cur = &nxt;
+      ++bi;
+    }
+    if (s.kind == SubordinateKind::kMemory) {
+      auto& mem = static_cast<axi::MemorySubordinate&>(
+          add(std::make_unique<axi::MemorySubordinate>(s.name, *cur, s.mem)));
+      if (const GuardDesc* g = guard_of(d, s)) {
+        guard_reset_cb[g->name] = [&mem] { mem.hw_reset(); };
+      }
+    } else {
+      auto& eth = static_cast<EthernetPeripheral&>(
+          add(std::make_unique<EthernetPeripheral>(s.name, *cur, s.eth)));
+      if (const GuardDesc* g = guard_of(d, s)) {
+        guard_reset_cb[g->name] = [&eth] { eth.hw_reset(); };
+      }
+    }
+  }
+
+  // 4. Reset units, in guard order.
+  for (const GuardDesc& g : d.guards) {
+    if (g.reset_unit.empty()) continue;
+    tmu::Tmu& t = *guard_tmu.at(g.name);
+    add(std::make_unique<ResetUnit>(g.reset_unit, t.reset_req, t.reset_ack,
+                                    guard_reset_cb.at(g.name),
+                                    g.reset_duration));
+  }
+
+  // 5. Recovery loop: PLIC sources in guard order, then the CPU stub.
+  if (d.recovery.enabled) {
+    auto& plic = static_cast<IrqController&>(
+        add(std::make_unique<IrqController>(d.recovery.plic)));
+    std::vector<tmu::Tmu*> tmus;
+    for (const GuardDesc& g : d.guards) {
+      tmu::Tmu& t = *guard_tmu.at(g.name);
+      plic.add_source(t.irq);
+      tmus.push_back(&t);
+    }
+    add(std::make_unique<CpuRecoveryStub>(d.recovery.cpu, plic,
+                                          std::move(tmus),
+                                          d.recovery.handler_latency));
+  }
+
+  // Register everything in construction order, reset, and apply the
+  // managers' initial traffic modes (post-reset, like testbench code).
+  for (const auto& m : soc->modules_) soc->sim_.add(*m);
+  soc->sim_.reset();
+  for (const ManagerDesc& m : d.managers) {
+    if (m.kind == ManagerKind::kTrafficGen && m.traffic.enabled) {
+      soc->get<axi::TrafficGenerator>(m.name).set_random(m.traffic);
+    }
+  }
+  return soc;
+}
+
+}  // namespace soc

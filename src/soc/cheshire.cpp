@@ -1,70 +1,28 @@
 #include "soc/cheshire.hpp"
 
+#include "soc/topologies.hpp"
+
 namespace soc {
 
-tmu::TmuConfig CheshireSystem::periph_tc_config() {
-  // Best-effort endpoint: Tiny-Counter with a prescaler, adaptive
-  // budgets on, generous whole-transaction budget (§IV: mixing Tc and
-  // Fc monitors within the same SoC).
-  tmu::TmuConfig cfg;
-  cfg.variant = tmu::Variant::kTinyCounter;
-  cfg.tc_total_budget = 512;
-  cfg.prescaler_step = 16;
-  cfg.sticky_bit = true;
-  cfg.adaptive.enabled = true;
-  cfg.max_txn_cycles = 1024;
-  return cfg;
-}
-
 CheshireSystem::CheshireSystem(const tmu::TmuConfig& tmu_cfg,
-                               EthernetConfig eth_cfg)
-    : cva6_0_("cva6_0", l_cva6_0_, 101),
-      cva6_1_("cva6_1", l_cva6_1_, 202),
-      idma_("idma", l_idma_, 303),
-      dma_engine_("dma_engine", l_dma_eng_, 16, 0xD),
-      xbar_("xbar", {&l_cva6_0_, &l_cva6_1_, &l_idma_, &l_dma_eng_},
-            {&l_llc_up_, &l_eth_xbar_, &l_periph_xbar_},
-            {axi::AddrRange{CheshireMap::kDramBase, CheshireMap::kDramSize, 0},
-             axi::AddrRange{CheshireMap::kEthBase, CheshireMap::kEthSize, 1},
-             axi::AddrRange{CheshireMap::kPeriphBase, CheshireMap::kPeriphSize,
-                            2}}),
-      llc_("llc", l_llc_up_, l_dram_),
-      dram_("dram", l_dram_),
-      periph_tmu_("periph_tmu", l_periph_xbar_, l_periph_tmu_sub_,
-                  periph_tc_config()),
-      periph_inj_("periph_inj", l_periph_tmu_sub_, l_periph_),
-      periph_("periph", l_periph_),
-      inj_m_("inj_m", l_eth_xbar_, l_tmu_mst_),
-      tmu_("tmu", l_tmu_mst_, l_tmu_sub_, tmu_cfg),
-      inj_s_("inj_s", l_tmu_sub_, l_eth_),
-      eth_("ethernet", l_eth_, eth_cfg),
-      rst_("reset_unit", tmu_.reset_req, tmu_.reset_ack,
-           [this] { eth_.hw_reset(); }),
-      periph_rst_("periph_reset_unit", periph_tmu_.reset_req,
-                  periph_tmu_.reset_ack, [this] { periph_.hw_reset(); }),
-      plic_("plic"),
-      cpu_("cva6_irq_handler", plic_, {&tmu_, &periph_tmu_}) {
-  plic_.add_source(tmu_.irq);
-  plic_.add_source(periph_tmu_.irq);
-  sim_.add(cva6_0_);
-  sim_.add(cva6_1_);
-  sim_.add(idma_);
-  sim_.add(dma_engine_);
-  sim_.add(xbar_);
-  sim_.add(llc_);
-  sim_.add(dram_);
-  sim_.add(periph_tmu_);
-  sim_.add(periph_inj_);
-  sim_.add(periph_);
-  sim_.add(inj_m_);
-  sim_.add(tmu_);
-  sim_.add(inj_s_);
-  sim_.add(eth_);
-  sim_.add(rst_);
-  sim_.add(periph_rst_);
-  sim_.add(plic_);
-  sim_.add(cpu_);
-  sim_.reset();
-}
+                               const EthernetConfig& eth_cfg)
+    : soc_(SocBuilder::build(cheshire_desc(tmu_cfg, eth_cfg))),
+      cva6_0_(&soc_->get<axi::TrafficGenerator>("cva6_0")),
+      cva6_1_(&soc_->get<axi::TrafficGenerator>("cva6_1")),
+      idma_(&soc_->get<axi::TrafficGenerator>("idma")),
+      dma_engine_(&soc_->get<IdmaEngine>("dma_engine")),
+      llc_(&soc_->get<LastLevelCache>("llc")),
+      dram_(&soc_->get<axi::MemorySubordinate>("dram")),
+      periph_(&soc_->get<axi::MemorySubordinate>("periph")),
+      eth_(&soc_->get<EthernetPeripheral>("ethernet")),
+      tmu_(&soc_->get<tmu::Tmu>("tmu")),
+      periph_tmu_(&soc_->get<tmu::Tmu>("periph_tmu")),
+      inj_m_(&soc_->get<fault::FaultInjector>("inj_m")),
+      inj_s_(&soc_->get<fault::FaultInjector>("inj_s")),
+      periph_inj_(&soc_->get<fault::FaultInjector>("periph_inj")),
+      rst_(&soc_->get<ResetUnit>("reset_unit")),
+      periph_rst_(&soc_->get<ResetUnit>("periph_reset_unit")),
+      plic_(&soc_->get<IrqController>("plic")),
+      cpu_(&soc_->get<CpuRecoveryStub>("cva6_irq_handler")) {}
 
 }  // namespace soc

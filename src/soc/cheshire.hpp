@@ -1,15 +1,13 @@
 #pragma once
 
-#include <cstdint>
 #include <memory>
-#include <string>
 
 #include "axi/crossbar.hpp"
-#include "axi/link.hpp"
 #include "axi/memory.hpp"
 #include "axi/traffic_gen.hpp"
 #include "fault/injector.hpp"
 #include "sim/kernel.hpp"
+#include "soc/builder.hpp"
 #include "soc/cpu_stub.hpp"
 #include "soc/ethernet.hpp"
 #include "soc/idma.hpp"
@@ -41,63 +39,63 @@ struct CheshireMap {
 /// external reset units, the PLIC-lite and a CPU recovery stub close
 /// the fault-recovery loop. Fault injectors sit on both sides of the
 /// Ethernet TMU and on the subordinate side of the peripheral TMU.
+///
+/// A thin facade over `cheshire_desc()` (soc/topologies.hpp) elaborated
+/// through SocBuilder — the topology itself is data; this class only
+/// preserves the historical typed accessors. New code that wants
+/// variants of the system should copy the desc and edit it rather than
+/// subclass here.
 class CheshireSystem {
  public:
   explicit CheshireSystem(const tmu::TmuConfig& tmu_cfg,
-                          EthernetConfig eth_cfg = {});
+                          const EthernetConfig& eth_cfg = {});
 
   /// One simulation step / run; see sim::Simulator.
-  sim::Simulator& sim() { return sim_; }
+  sim::Simulator& sim() { return soc_->sim(); }
 
-  axi::TrafficGenerator& cva6_0() { return cva6_0_; }
-  axi::TrafficGenerator& cva6_1() { return cva6_1_; }
-  axi::TrafficGenerator& idma() { return idma_; }
-  IdmaEngine& dma_engine() { return dma_engine_; }
-  LastLevelCache& llc() { return llc_; }
-  axi::MemorySubordinate& dram() { return dram_; }
-  axi::MemorySubordinate& periph() { return periph_; }
-  EthernetPeripheral& ethernet() { return eth_; }
-  tmu::Tmu& tmu() { return tmu_; }
-  tmu::Tmu& periph_tmu() { return periph_tmu_; }
-  fault::FaultInjector& eth_side_injector() { return inj_s_; }
-  fault::FaultInjector& mgr_side_injector() { return inj_m_; }
-  fault::FaultInjector& periph_injector() { return periph_inj_; }
-  ResetUnit& reset_unit() { return rst_; }
-  ResetUnit& periph_reset_unit() { return periph_rst_; }
-  IrqController& plic() { return plic_; }
-  CpuRecoveryStub& cpu() { return cpu_; }
+  /// The underlying built netlist (name-addressed lookup, desc, links).
+  Soc& soc() { return *soc_; }
+  const Soc& soc() const { return *soc_; }
+
+  axi::TrafficGenerator& cva6_0() { return *cva6_0_; }
+  axi::TrafficGenerator& cva6_1() { return *cva6_1_; }
+  axi::TrafficGenerator& idma() { return *idma_; }
+  IdmaEngine& dma_engine() { return *dma_engine_; }
+  LastLevelCache& llc() { return *llc_; }
+  axi::MemorySubordinate& dram() { return *dram_; }
+  axi::MemorySubordinate& periph() { return *periph_; }
+  EthernetPeripheral& ethernet() { return *eth_; }
+  tmu::Tmu& tmu() { return *tmu_; }
+  tmu::Tmu& periph_tmu() { return *periph_tmu_; }
+  fault::FaultInjector& eth_side_injector() { return *inj_s_; }
+  fault::FaultInjector& mgr_side_injector() { return *inj_m_; }
+  fault::FaultInjector& periph_injector() { return *periph_inj_; }
+  ResetUnit& reset_unit() { return *rst_; }
+  ResetUnit& periph_reset_unit() { return *periph_rst_; }
+  IrqController& plic() { return *plic_; }
+  CpuRecoveryStub& cpu() { return *cpu_; }
 
  private:
-  static tmu::TmuConfig periph_tc_config();
+  std::unique_ptr<Soc> soc_;
 
-  // Links: managers -> crossbar, crossbar -> subordinates, and the
-  // monitored chains crossbar -> inj_m -> TMU -> inj_s -> Ethernet and
-  // crossbar -> periph TMU -> periph injector -> peripheral.
-  axi::Link l_cva6_0_, l_cva6_1_, l_idma_, l_dma_eng_;
-  axi::Link l_llc_up_, l_eth_xbar_, l_periph_xbar_;
-  axi::Link l_dram_;
-  axi::Link l_tmu_mst_, l_tmu_sub_, l_eth_;
-  axi::Link l_periph_tmu_sub_, l_periph_;
-
-  axi::TrafficGenerator cva6_0_;
-  axi::TrafficGenerator cva6_1_;
-  axi::TrafficGenerator idma_;
-  IdmaEngine dma_engine_;
-  axi::Crossbar xbar_;
-  LastLevelCache llc_;
-  axi::MemorySubordinate dram_;
-  tmu::Tmu periph_tmu_;
-  fault::FaultInjector periph_inj_;
-  axi::MemorySubordinate periph_;
-  fault::FaultInjector inj_m_;
-  tmu::Tmu tmu_;
-  fault::FaultInjector inj_s_;
-  EthernetPeripheral eth_;
-  ResetUnit rst_;
-  ResetUnit periph_rst_;
-  IrqController plic_;
-  CpuRecoveryStub cpu_;
-  sim::Simulator sim_;
+  // Cached typed lookups into soc_ (stable: Soc owns the modules).
+  axi::TrafficGenerator* cva6_0_;
+  axi::TrafficGenerator* cva6_1_;
+  axi::TrafficGenerator* idma_;
+  IdmaEngine* dma_engine_;
+  LastLevelCache* llc_;
+  axi::MemorySubordinate* dram_;
+  axi::MemorySubordinate* periph_;
+  EthernetPeripheral* eth_;
+  tmu::Tmu* tmu_;
+  tmu::Tmu* periph_tmu_;
+  fault::FaultInjector* inj_m_;
+  fault::FaultInjector* inj_s_;
+  fault::FaultInjector* periph_inj_;
+  ResetUnit* rst_;
+  ResetUnit* periph_rst_;
+  IrqController* plic_;
+  CpuRecoveryStub* cpu_;
 };
 
 }  // namespace soc

@@ -1,0 +1,735 @@
+// SocDesc JSON round-trip (schema tmu-soc-desc-v1) and topology hash.
+//
+// The emitter writes every field in a fixed order, so the document is
+// canonical: equal descs serialize byte-identically and hash() — FNV-1a
+// over the document — is a stable cross-process topology fingerprint.
+// The parser is a dependency-free recursive-descent JSON reader; it
+// rejects unknown keys (typos in hand-written topologies should fail
+// loudly, not silently fall back to defaults) and reports the offending
+// key in every error.
+
+#include "soc/desc.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/jsonfmt.hpp"
+
+namespace soc {
+
+namespace {
+
+using sim::jsonfmt::append_f;
+using sim::jsonfmt::json_escape;
+
+// ------------------------------------------------------------------
+// Emission
+// ------------------------------------------------------------------
+
+/// Tiny canonical-JSON writer: tracks nesting depth for indentation and
+/// whether the current aggregate needs a separating comma.
+class Emitter {
+ public:
+  std::string take() && { return std::move(out_); }
+
+  void key(const char* k) {
+    sep();
+    indent();
+    out_ += '"';
+    out_ += k;
+    out_ += "\": ";
+    pending_value_ = true;
+  }
+  void str(const char* k, const std::string& v) {
+    key(k);
+    out_ += '"';
+    out_ += json_escape(v);
+    out_ += '"';
+    done_value();
+  }
+  void u64(const char* k, std::uint64_t v) {
+    key(k);
+    append_f(out_, "%" PRIu64, v);
+    done_value();
+  }
+  void boolean(const char* k, bool v) {
+    key(k);
+    out_ += v ? "true" : "false";
+    done_value();
+  }
+  void dbl(const char* k, double v) {
+    key(k);
+    append_f(out_, "%.17g", v);  // round-trips every finite double
+    done_value();
+  }
+  void open_obj(const char* k = nullptr) { open(k, '{'); }
+  void close_obj() { close('}'); }
+  void open_arr(const char* k = nullptr) { open(k, '['); }
+  void close_arr() { close(']'); }
+
+ private:
+  void done_value() {
+    pending_value_ = false;
+    need_comma_ = true;
+  }
+  void sep() {
+    if (need_comma_) out_ += ",\n";
+    need_comma_ = false;
+  }
+  void indent() {
+    if (pending_value_) return;  // value follows "key": on the same line
+    out_.append(2 * depth_, ' ');
+  }
+  void open(const char* k, char brace) {
+    if (k != nullptr) {
+      key(k);
+    } else {
+      sep();
+      indent();
+    }
+    pending_value_ = false;
+    out_ += brace;
+    out_ += '\n';
+    ++depth_;
+    need_comma_ = false;
+  }
+  void close(char brace) {
+    out_ += '\n';
+    --depth_;
+    out_.append(2 * depth_, ' ');
+    out_ += brace;
+    need_comma_ = true;
+  }
+
+  std::string out_;
+  int depth_ = 0;
+  bool need_comma_ = false;
+  bool pending_value_ = false;
+};
+
+void emit_traffic(Emitter& e, const char* k,
+                  const axi::RandomTrafficConfig& t) {
+  e.open_obj(k);
+  e.boolean("enabled", t.enabled);
+  e.dbl("p_new_txn", t.p_new_txn);
+  e.dbl("write_fraction", t.write_fraction);
+  e.u64("max_outstanding", t.max_outstanding);
+  e.u64("id_min", t.id_min);
+  e.u64("id_max", t.id_max);
+  e.u64("addr_min", t.addr_min);
+  e.u64("addr_max", t.addr_max);
+  e.u64("len_min", t.len_min);
+  e.u64("len_max", t.len_max);
+  e.u64("size", t.size);
+  e.close_obj();
+}
+
+void emit_mem(Emitter& e, const char* k, const axi::MemoryConfig& m) {
+  e.open_obj(k);
+  e.u64("aw_accept_latency", m.aw_accept_latency);
+  e.u64("ar_accept_latency", m.ar_accept_latency);
+  e.u64("w_ready_every", m.w_ready_every);
+  e.u64("b_latency", m.b_latency);
+  e.u64("r_first_latency", m.r_first_latency);
+  e.u64("r_beat_every", m.r_beat_every);
+  e.u64("max_outstanding", m.max_outstanding);
+  e.u64("error_base", m.error_base);
+  e.u64("error_end", m.error_end);
+  e.close_obj();
+}
+
+void emit_eth(Emitter& e, const char* k, const EthernetConfig& c) {
+  e.open_obj(k);
+  e.u64("tx_fifo_beats", c.tx_fifo_beats);
+  e.u64("drain_every", c.drain_every);
+  e.u64("b_latency", c.b_latency);
+  e.u64("r_first_latency", c.r_first_latency);
+  e.u64("max_outstanding", c.max_outstanding);
+  e.u64("mmio_size", c.mmio_size);
+  e.close_obj();
+}
+
+void emit_tmu(Emitter& e, const char* k, const tmu::TmuConfig& c) {
+  e.open_obj(k);
+  e.str("variant", to_string(c.variant));
+  e.u64("max_uniq_ids", c.max_uniq_ids);
+  e.u64("txn_per_uniq_id", c.txn_per_uniq_id);
+  e.open_obj("budgets");
+  e.u64("aw_vld_aw_rdy", c.budgets.aw_vld_aw_rdy);
+  e.u64("aw_rdy_w_vld", c.budgets.aw_rdy_w_vld);
+  e.u64("w_vld_w_rdy", c.budgets.w_vld_w_rdy);
+  e.u64("w_first_w_last", c.budgets.w_first_w_last);
+  e.u64("w_last_b_vld", c.budgets.w_last_b_vld);
+  e.u64("b_vld_b_rdy", c.budgets.b_vld_b_rdy);
+  e.u64("ar_vld_ar_rdy", c.budgets.ar_vld_ar_rdy);
+  e.u64("ar_rdy_r_vld", c.budgets.ar_rdy_r_vld);
+  e.u64("r_vld_r_rdy", c.budgets.r_vld_r_rdy);
+  e.u64("r_vld_r_last", c.budgets.r_vld_r_last);
+  e.close_obj();
+  e.u64("tc_total_budget", c.tc_total_budget);
+  e.open_obj("adaptive");
+  e.boolean("enabled", c.adaptive.enabled);
+  e.u64("cycles_per_beat", c.adaptive.cycles_per_beat);
+  e.u64("cycles_per_ahead", c.adaptive.cycles_per_ahead);
+  e.close_obj();
+  e.u64("prescaler_step", c.prescaler_step);
+  e.boolean("sticky_bit", c.sticky_bit);
+  e.boolean("enabled", c.enabled);
+  e.boolean("irq_enabled", c.irq_enabled);
+  e.boolean("reset_on_fault", c.reset_on_fault);
+  e.u64("max_txn_cycles", c.max_txn_cycles);
+  e.u64("fault_log_depth", c.fault_log_depth);
+  e.u64("perf_log_depth", c.perf_log_depth);
+  e.close_obj();
+}
+
+// ------------------------------------------------------------------
+// Parsing
+// ------------------------------------------------------------------
+
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::uint64_t unum = 0;
+  bool is_unsigned = false;  ///< lexically a non-negative integer
+  std::string str;
+  std::vector<Json> arr;
+  std::vector<std::pair<std::string, Json>> obj;
+};
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("SocDesc::from_json: " + what);
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : p_(text.data()), end_(p_ + text.size()) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    if (p_ != end_) fail("trailing characters after the document");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (p_ != end_ && std::isspace(static_cast<unsigned char>(*p_))) ++p_;
+  }
+  char peek() {
+    skip_ws();
+    if (p_ == end_) fail("unexpected end of input");
+    return *p_;
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "', got '" + *p_ + "'");
+    ++p_;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (p_ != end_ && *p_ == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+  bool consume_word(const char* w) {
+    const char* q = p_;
+    for (const char* c = w; *c != '\0'; ++c, ++q) {
+      if (q == end_ || *q != *c) return false;
+    }
+    p_ = q;
+    return true;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (p_ == end_) fail("unterminated string");
+      char c = *p_++;
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (p_ == end_) fail("unterminated escape");
+        char esc = *p_++;
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (end_ - p_ < 4) fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              code <<= 4;
+              char h = *p_++;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape digit");
+            }
+            // The emitter only escapes control characters; anything else
+            // would need UTF-8 encoding, which desc fields never carry.
+            if (code > 0x7F) fail("non-ASCII \\u escape unsupported");
+            out += static_cast<char>(code);
+            break;
+          }
+          default: fail(std::string("unknown escape '\\") + esc + "'");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  Json parse_number() {
+    const char* start = p_;
+    if (p_ != end_ && *p_ == '-') ++p_;
+    bool integral = true;
+    while (p_ != end_ &&
+           (std::isdigit(static_cast<unsigned char>(*p_)) || *p_ == '.' ||
+            *p_ == 'e' || *p_ == 'E' || *p_ == '+' || *p_ == '-')) {
+      if (!std::isdigit(static_cast<unsigned char>(*p_))) integral = false;
+      ++p_;
+    }
+    const std::string tok(start, p_);
+    if (tok.empty() || tok == "-") fail("malformed number");
+    Json v;
+    v.kind = Json::Kind::kNumber;
+    v.num = std::strtod(tok.c_str(), nullptr);
+    if (integral && tok[0] != '-') {
+      // Full-precision uint64 path: seeds and addresses exceed the
+      // 53-bit double mantissa.
+      errno = 0;
+      v.unum = std::strtoull(tok.c_str(), nullptr, 10);
+      if (errno == ERANGE) fail("integer " + tok + " overflows 64 bits");
+      v.is_unsigned = true;
+    }
+    return v;
+  }
+
+  Json parse_value() {
+    const char c = peek();
+    Json v;
+    if (c == '{') {
+      ++p_;
+      v.kind = Json::Kind::kObject;
+      if (!consume('}')) {
+        do {
+          std::string key = (skip_ws(), parse_string());
+          expect(':');
+          v.obj.emplace_back(std::move(key), parse_value());
+        } while (consume(','));
+        expect('}');
+      }
+    } else if (c == '[') {
+      ++p_;
+      v.kind = Json::Kind::kArray;
+      if (!consume(']')) {
+        do {
+          v.arr.push_back(parse_value());
+        } while (consume(','));
+        expect(']');
+      }
+    } else if (c == '"') {
+      v.kind = Json::Kind::kString;
+      v.str = parse_string();
+    } else if (consume_word("true")) {
+      v.kind = Json::Kind::kBool;
+      v.b = true;
+    } else if (consume_word("false")) {
+      v.kind = Json::Kind::kBool;
+      v.b = false;
+    } else if (consume_word("null")) {
+      v.kind = Json::Kind::kNull;
+    } else {
+      v = parse_number();
+    }
+    return v;
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+/// Strict object reader: every key must be consumed exactly once; any
+/// leftover key is an error naming it. Missing keys keep field defaults.
+class ObjReader {
+ public:
+  ObjReader(const Json& v, std::string where) : where_(std::move(where)) {
+    if (v.kind != Json::Kind::kObject) fail(where_ + ": expected an object");
+    for (const auto& [k, val] : v.obj) fields_.emplace_back(k, &val);
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      for (std::size_t j = i + 1; j < fields_.size(); ++j) {
+        if (fields_[i].first == fields_[j].first) {
+          fail(where_ + ": duplicate key \"" + fields_[i].first + "\"");
+        }
+      }
+    }
+  }
+
+  const Json* take(const char* key) {
+    for (auto it = fields_.begin(); it != fields_.end(); ++it) {
+      if (it->first == key) {
+        const Json* v = it->second;
+        fields_.erase(it);
+        return v;
+      }
+    }
+    return nullptr;
+  }
+
+  void get(const char* key, std::string& out) {
+    if (const Json* v = take(key)) {
+      if (v->kind != Json::Kind::kString) fail(ctx(key) + " must be a string");
+      out = v->str;
+    }
+  }
+  void get(const char* key, bool& out) {
+    if (const Json* v = take(key)) {
+      if (v->kind != Json::Kind::kBool) fail(ctx(key) + " must be a bool");
+      out = v->b;
+    }
+  }
+  void get(const char* key, double& out) {
+    if (const Json* v = take(key)) {
+      if (v->kind != Json::Kind::kNumber) fail(ctx(key) + " must be a number");
+      out = v->num;
+    }
+  }
+  template <typename UInt>
+  void get_u(const char* key, UInt& out) {
+    if (const Json* v = take(key)) {
+      if (v->kind != Json::Kind::kNumber || !v->is_unsigned) {
+        fail(ctx(key) + " must be a non-negative integer");
+      }
+      if (v->unum > std::numeric_limits<UInt>::max()) {
+        fail(ctx(key) + ": " + std::to_string(v->unum) +
+             " does not fit the field (max " +
+             std::to_string(std::numeric_limits<UInt>::max()) + ")");
+      }
+      out = static_cast<UInt>(v->unum);
+    }
+  }
+
+  /// Call last: rejects unconsumed (unknown) keys.
+  void finish() {
+    if (!fields_.empty()) {
+      fail(where_ + ": unknown key \"" + fields_.front().first + "\"");
+    }
+  }
+
+  std::string ctx(const char* key) const { return where_ + "." + key; }
+  const std::string& where() const { return where_; }
+
+ private:
+  std::string where_;
+  std::vector<std::pair<std::string, const Json*>> fields_;
+};
+
+void parse_traffic(const Json& v, const std::string& where,
+                   axi::RandomTrafficConfig& t) {
+  ObjReader r(v, where);
+  r.get("enabled", t.enabled);
+  r.get("p_new_txn", t.p_new_txn);
+  r.get("write_fraction", t.write_fraction);
+  r.get_u("max_outstanding", t.max_outstanding);
+  r.get_u("id_min", t.id_min);
+  r.get_u("id_max", t.id_max);
+  r.get_u("addr_min", t.addr_min);
+  r.get_u("addr_max", t.addr_max);
+  r.get_u("len_min", t.len_min);
+  r.get_u("len_max", t.len_max);
+  r.get_u("size", t.size);
+  r.finish();
+}
+
+void parse_mem(const Json& v, const std::string& where, axi::MemoryConfig& m) {
+  ObjReader r(v, where);
+  r.get_u("aw_accept_latency", m.aw_accept_latency);
+  r.get_u("ar_accept_latency", m.ar_accept_latency);
+  r.get_u("w_ready_every", m.w_ready_every);
+  r.get_u("b_latency", m.b_latency);
+  r.get_u("r_first_latency", m.r_first_latency);
+  r.get_u("r_beat_every", m.r_beat_every);
+  r.get_u("max_outstanding", m.max_outstanding);
+  r.get_u("error_base", m.error_base);
+  r.get_u("error_end", m.error_end);
+  r.finish();
+}
+
+void parse_eth(const Json& v, const std::string& where, EthernetConfig& c) {
+  ObjReader r(v, where);
+  r.get_u("tx_fifo_beats", c.tx_fifo_beats);
+  r.get_u("drain_every", c.drain_every);
+  r.get_u("b_latency", c.b_latency);
+  r.get_u("r_first_latency", c.r_first_latency);
+  r.get_u("max_outstanding", c.max_outstanding);
+  r.get_u("mmio_size", c.mmio_size);
+  r.finish();
+}
+
+void parse_tmu(const Json& v, const std::string& where, tmu::TmuConfig& c) {
+  ObjReader r(v, where);
+  std::string variant = to_string(c.variant);
+  r.get("variant", variant);
+  if (variant == "Tc") {
+    c.variant = tmu::Variant::kTinyCounter;
+  } else if (variant == "Fc") {
+    c.variant = tmu::Variant::kFullCounter;
+  } else {
+    fail(where + ".variant: unknown TMU variant \"" + variant + "\"");
+  }
+  r.get_u("max_uniq_ids", c.max_uniq_ids);
+  r.get_u("txn_per_uniq_id", c.txn_per_uniq_id);
+  if (const Json* b = r.take("budgets")) {
+    ObjReader rb(*b, where + ".budgets");
+    rb.get_u("aw_vld_aw_rdy", c.budgets.aw_vld_aw_rdy);
+    rb.get_u("aw_rdy_w_vld", c.budgets.aw_rdy_w_vld);
+    rb.get_u("w_vld_w_rdy", c.budgets.w_vld_w_rdy);
+    rb.get_u("w_first_w_last", c.budgets.w_first_w_last);
+    rb.get_u("w_last_b_vld", c.budgets.w_last_b_vld);
+    rb.get_u("b_vld_b_rdy", c.budgets.b_vld_b_rdy);
+    rb.get_u("ar_vld_ar_rdy", c.budgets.ar_vld_ar_rdy);
+    rb.get_u("ar_rdy_r_vld", c.budgets.ar_rdy_r_vld);
+    rb.get_u("r_vld_r_rdy", c.budgets.r_vld_r_rdy);
+    rb.get_u("r_vld_r_last", c.budgets.r_vld_r_last);
+    rb.finish();
+  }
+  r.get_u("tc_total_budget", c.tc_total_budget);
+  if (const Json* a = r.take("adaptive")) {
+    ObjReader ra(*a, where + ".adaptive");
+    ra.get("enabled", c.adaptive.enabled);
+    ra.get_u("cycles_per_beat", c.adaptive.cycles_per_beat);
+    ra.get_u("cycles_per_ahead", c.adaptive.cycles_per_ahead);
+    ra.finish();
+  }
+  r.get_u("prescaler_step", c.prescaler_step);
+  r.get("sticky_bit", c.sticky_bit);
+  r.get("enabled", c.enabled);
+  r.get("irq_enabled", c.irq_enabled);
+  r.get("reset_on_fault", c.reset_on_fault);
+  r.get_u("max_txn_cycles", c.max_txn_cycles);
+  r.get_u("fault_log_depth", c.fault_log_depth);
+  r.get_u("perf_log_depth", c.perf_log_depth);
+  r.finish();
+}
+
+}  // namespace
+
+std::string SocDesc::to_json() const {
+  Emitter e;
+  e.open_obj();
+  e.str("schema", kSocDescSchema);
+  e.str("name", name);
+  e.boolean("crossbar", crossbar);
+  e.str("xbar_name", xbar_name);
+  e.u64("id_shift", id_shift);
+  e.str("xbar_impl", axi::to_string(xbar_impl));
+  e.str("policy", sim::sched::to_string(policy));
+  e.open_arr("managers");
+  for (const ManagerDesc& m : managers) {
+    e.open_obj();
+    e.str("name", m.name);
+    e.str("kind", to_string(m.kind));
+    e.u64("seed", m.seed);
+    emit_traffic(e, "traffic", m.traffic);
+    e.u64("dma_max_burst", m.dma_max_burst);
+    e.u64("dma_id", m.dma_id);
+    e.close_obj();
+  }
+  e.close_arr();
+  e.open_arr("subordinates");
+  for (const SubordinateDesc& s : subordinates) {
+    e.open_obj();
+    e.str("name", s.name);
+    e.str("kind", to_string(s.kind));
+    e.u64("base", s.base);
+    e.u64("size", s.size);
+    emit_mem(e, "mem", s.mem);
+    emit_eth(e, "eth", s.eth);
+    e.boolean("llc", s.llc);
+    e.open_obj("llc_cfg");
+    e.u64("num_lines", s.llc_cfg.num_lines);
+    e.u64("hit_latency", s.llc_cfg.hit_latency);
+    e.close_obj();
+    e.str("llc_name", s.llc_name);
+    e.close_obj();
+  }
+  e.close_arr();
+  e.open_arr("guards");
+  for (const GuardDesc& g : guards) {
+    e.open_obj();
+    e.str("name", g.name);
+    e.str("subordinate", g.subordinate);
+    emit_tmu(e, "cfg", g.cfg);
+    e.str("mgr_injector", g.mgr_injector);
+    e.str("sub_injector", g.sub_injector);
+    e.str("reset_unit", g.reset_unit);
+    e.u64("reset_duration", g.reset_duration);
+    e.close_obj();
+  }
+  e.close_arr();
+  e.open_obj("recovery");
+  e.boolean("enabled", recovery.enabled);
+  e.str("plic", recovery.plic);
+  e.str("cpu", recovery.cpu);
+  e.u64("handler_latency", recovery.handler_latency);
+  e.close_obj();
+  e.close_obj();
+  std::string out = std::move(e).take();
+  out += '\n';
+  return out;
+}
+
+SocDesc SocDesc::from_json(const std::string& json) {
+  const Json doc = Parser(json).parse_document();
+  SocDesc d;
+  ObjReader r(doc, "desc");
+
+  std::string schema;
+  r.get("schema", schema);
+  if (schema != kSocDescSchema) {
+    fail("schema mismatch: expected \"" + std::string(kSocDescSchema) +
+         "\", got \"" + schema + "\"");
+  }
+  r.get("name", d.name);
+  r.get("crossbar", d.crossbar);
+  r.get("xbar_name", d.xbar_name);
+  r.get_u("id_shift", d.id_shift);
+  std::string impl = axi::to_string(d.xbar_impl);
+  r.get("xbar_impl", impl);
+  if (impl == "sharded") {
+    d.xbar_impl = axi::XbarImpl::kSharded;
+  } else if (impl == "monolithic") {
+    d.xbar_impl = axi::XbarImpl::kMonolithic;
+  } else {
+    fail("desc.xbar_impl: unknown crossbar impl \"" + impl + "\"");
+  }
+  std::string policy = sim::sched::to_string(d.policy);
+  r.get("policy", policy);
+  if (policy == "event_driven") {
+    d.policy = sim::sched::SchedPolicy::kEventDriven;
+  } else if (policy == "full_sweep") {
+    d.policy = sim::sched::SchedPolicy::kFullSweep;
+  } else {
+    fail("desc.policy: unknown sched policy \"" + policy + "\"");
+  }
+
+  if (const Json* arr = r.take("managers")) {
+    if (arr->kind != Json::Kind::kArray) fail("desc.managers must be an array");
+    for (std::size_t i = 0; i < arr->arr.size(); ++i) {
+      const std::string where = "desc.managers[" + std::to_string(i) + "]";
+      ManagerDesc m;
+      ObjReader rm(arr->arr[i], where);
+      rm.get("name", m.name);
+      std::string kind = to_string(m.kind);
+      rm.get("kind", kind);
+      if (kind == "traffic_gen") {
+        m.kind = ManagerKind::kTrafficGen;
+      } else if (kind == "dma_engine") {
+        m.kind = ManagerKind::kDmaEngine;
+      } else {
+        fail(where + ".kind: unknown manager kind \"" + kind + "\"");
+      }
+      rm.get_u("seed", m.seed);
+      if (const Json* t = rm.take("traffic")) {
+        parse_traffic(*t, where + ".traffic", m.traffic);
+      }
+      rm.get_u("dma_max_burst", m.dma_max_burst);
+      rm.get_u("dma_id", m.dma_id);
+      rm.finish();
+      d.managers.push_back(std::move(m));
+    }
+  }
+
+  if (const Json* arr = r.take("subordinates")) {
+    if (arr->kind != Json::Kind::kArray) {
+      fail("desc.subordinates must be an array");
+    }
+    for (std::size_t i = 0; i < arr->arr.size(); ++i) {
+      const std::string where = "desc.subordinates[" + std::to_string(i) + "]";
+      SubordinateDesc s;
+      ObjReader rs(arr->arr[i], where);
+      rs.get("name", s.name);
+      std::string kind = to_string(s.kind);
+      rs.get("kind", kind);
+      if (kind == "memory") {
+        s.kind = SubordinateKind::kMemory;
+      } else if (kind == "ethernet") {
+        s.kind = SubordinateKind::kEthernet;
+      } else {
+        fail(where + ".kind: unknown subordinate kind \"" + kind + "\"");
+      }
+      rs.get_u("base", s.base);
+      rs.get_u("size", s.size);
+      if (const Json* m = rs.take("mem")) parse_mem(*m, where + ".mem", s.mem);
+      if (const Json* c = rs.take("eth")) parse_eth(*c, where + ".eth", s.eth);
+      rs.get("llc", s.llc);
+      if (const Json* l = rs.take("llc_cfg")) {
+        ObjReader rl(*l, where + ".llc_cfg");
+        rl.get_u("num_lines", s.llc_cfg.num_lines);
+        rl.get_u("hit_latency", s.llc_cfg.hit_latency);
+        rl.finish();
+      }
+      rs.get("llc_name", s.llc_name);
+      rs.finish();
+      d.subordinates.push_back(std::move(s));
+    }
+  }
+
+  if (const Json* arr = r.take("guards")) {
+    if (arr->kind != Json::Kind::kArray) fail("desc.guards must be an array");
+    for (std::size_t i = 0; i < arr->arr.size(); ++i) {
+      const std::string where = "desc.guards[" + std::to_string(i) + "]";
+      GuardDesc g;
+      ObjReader rg(arr->arr[i], where);
+      rg.get("name", g.name);
+      rg.get("subordinate", g.subordinate);
+      if (const Json* c = rg.take("cfg")) parse_tmu(*c, where + ".cfg", g.cfg);
+      rg.get("mgr_injector", g.mgr_injector);
+      rg.get("sub_injector", g.sub_injector);
+      rg.get("reset_unit", g.reset_unit);
+      rg.get_u("reset_duration", g.reset_duration);
+      rg.finish();
+      d.guards.push_back(std::move(g));
+    }
+  }
+
+  if (const Json* rec = r.take("recovery")) {
+    ObjReader rr(*rec, "desc.recovery");
+    rr.get("enabled", d.recovery.enabled);
+    rr.get("plic", d.recovery.plic);
+    rr.get("cpu", d.recovery.cpu);
+    rr.get_u("handler_latency", d.recovery.handler_latency);
+    rr.finish();
+  }
+
+  r.finish();
+  return d;
+}
+
+std::uint64_t SocDesc::hash() const {
+  // FNV-1a 64 over the canonical JSON: process-independent, so remote
+  // shards and campaign reports agree on the fingerprint.
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : to_json()) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace soc

@@ -1,0 +1,157 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "axi/crossbar.hpp"
+#include "axi/memory.hpp"
+#include "axi/traffic_gen.hpp"
+#include "sim/sched/sched.hpp"
+#include "soc/ethernet.hpp"
+#include "soc/llc.hpp"
+#include "tmu/config.hpp"
+
+namespace soc {
+
+/// JSON schema tag written by SocDesc::to_json and required by
+/// SocDesc::from_json.
+inline constexpr const char* kSocDescSchema = "tmu-soc-desc-v1";
+
+/// What kind of AXI manager a ManagerDesc elaborates to.
+enum class ManagerKind : std::uint8_t {
+  kTrafficGen,  ///< axi::TrafficGenerator (queued or random traffic)
+  kDmaEngine,   ///< soc::IdmaEngine (descriptor-based mover)
+};
+
+/// What kind of endpoint a SubordinateDesc elaborates to.
+enum class SubordinateKind : std::uint8_t {
+  kMemory,    ///< axi::MemorySubordinate
+  kEthernet,  ///< soc::EthernetPeripheral
+};
+
+inline const char* to_string(ManagerKind k) {
+  return k == ManagerKind::kTrafficGen ? "traffic_gen" : "dma_engine";
+}
+inline const char* to_string(SubordinateKind k) {
+  return k == SubordinateKind::kMemory ? "memory" : "ethernet";
+}
+
+/// One AXI manager port of the SoC. Managers keep their declaration
+/// order: it is the crossbar port order (round-robin arbitration rank)
+/// and the upper-ID-bits encoding, so it is part of the topology.
+struct ManagerDesc {
+  std::string name;
+  ManagerKind kind = ManagerKind::kTrafficGen;
+
+  // kTrafficGen: RNG seed and an optional initial random-traffic mode,
+  // applied right after the post-build reset (testbench code can always
+  // reconfigure it later through Soc::get).
+  std::uint64_t seed = 1;
+  axi::RandomTrafficConfig traffic{};
+
+  // kDmaEngine parameters (see soc::IdmaEngine).
+  std::uint8_t dma_max_burst = 16;
+  axi::Id dma_id = 0xD;
+
+  bool operator==(const ManagerDesc&) const = default;
+};
+
+/// One subordinate endpoint and its address window. Declaration order is
+/// the crossbar subordinate-port order. The optional LLC sits between
+/// the crossbar (or the guard chain, if the endpoint is guarded) and the
+/// endpoint itself.
+struct SubordinateDesc {
+  std::string name;
+  SubordinateKind kind = SubordinateKind::kMemory;
+
+  /// Address window [base, base + size) decoded to this endpoint.
+  axi::Addr base = 0;
+  axi::Addr size = 0;
+
+  axi::MemoryConfig mem{};  ///< kMemory parameters
+  EthernetConfig eth{};     ///< kEthernet parameters
+
+  bool llc = false;  ///< insert a LastLevelCache in front of the endpoint
+  LlcConfig llc_cfg{};
+  std::string llc_name;  ///< empty = "<name>.llc"
+
+  bool operator==(const SubordinateDesc&) const = default;
+};
+
+/// A TMU-guarded chain in front of one subordinate:
+///
+///   upstream --> [mgr_injector] --> TMU --> [sub_injector] --> endpoint
+///                                    |
+///                                    +--> irq --> PLIC (RecoveryDesc)
+///                                    +--> reset_req/ack --> [reset_unit]
+///
+/// Injector and reset-unit names are optional; an empty name elides the
+/// block. The reset unit invokes the guarded endpoint's hw_reset().
+struct GuardDesc {
+  std::string name;         ///< TMU module name
+  std::string subordinate;  ///< guarded SubordinateDesc::name
+  tmu::TmuConfig cfg{};
+  std::string mgr_injector;  ///< fault injector upstream of the TMU
+  std::string sub_injector;  ///< fault injector downstream of the TMU
+  std::string reset_unit;    ///< external reset unit
+  std::uint32_t reset_duration = 4;
+
+  bool operator==(const GuardDesc&) const = default;
+};
+
+/// The software side of the recovery loop: a PLIC-lite collecting every
+/// guard's irq (in guard declaration order) and a CPU recovery stub
+/// servicing them.
+struct RecoveryDesc {
+  bool enabled = false;
+  std::string plic = "plic";
+  std::string cpu = "cpu";
+  std::uint32_t handler_latency = 20;
+
+  bool operator==(const RecoveryDesc&) const = default;
+};
+
+/// Declarative netlist description: the single source of truth a
+/// SocBuilder elaborates into modules, links and a sim::Simulator.
+/// Topology is data — a SocDesc can be compared, hashed, serialized to
+/// JSON and shipped to a remote campaign worker, which rebuilds the
+/// exact same netlist with SocBuilder::build.
+struct SocDesc {
+  std::string name = "soc";
+
+  /// With a crossbar (the default), every manager reaches every
+  /// subordinate through the address map. Without one, the netlist is a
+  /// point-to-point chain: exactly one manager wired straight into the
+  /// (single) subordinate's guard chain — the paper's Fig. 8/9 IP-level
+  /// testbench shape — and address windows are ignored.
+  bool crossbar = true;
+  std::string xbar_name = "xbar";
+  unsigned id_shift = 8;
+  axi::XbarImpl xbar_impl = axi::XbarImpl::kSharded;
+
+  sim::sched::SchedPolicy policy = sim::sched::SchedPolicy::kEventDriven;
+
+  std::vector<ManagerDesc> managers;
+  std::vector<SubordinateDesc> subordinates;
+  std::vector<GuardDesc> guards;
+  RecoveryDesc recovery{};
+
+  bool operator==(const SocDesc&) const = default;
+
+  /// Canonical JSON (schema tmu-soc-desc-v1): fixed field order, every
+  /// field emitted, so equal descs serialize identically.
+  std::string to_json() const;
+
+  /// Parses a to_json() document (unknown keys rejected, missing keys
+  /// take the field defaults). Throws std::invalid_argument with the
+  /// offending key/position on malformed input or a schema mismatch.
+  static SocDesc from_json(const std::string& json);
+
+  /// Stable topology fingerprint: FNV-1a 64 over the canonical JSON.
+  /// Equal descs hash equal across processes and machines, which is what
+  /// campaign reports record per scenario.
+  std::uint64_t hash() const;
+};
+
+}  // namespace soc

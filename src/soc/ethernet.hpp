@@ -30,6 +30,7 @@ struct EthernetConfig {
   std::uint32_t r_first_latency = 2;
   std::size_t max_outstanding = 8;
   axi::Addr mmio_size = 0x1000;
+  bool operator==(const EthernetConfig&) const = default;
 };
 
 class EthernetPeripheral : public sim::Module {

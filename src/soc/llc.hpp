@@ -30,6 +30,7 @@ namespace soc {
 struct LlcConfig {
   std::uint32_t num_lines = 256;   ///< direct-mapped, 64 B lines
   std::uint32_t hit_latency = 2;   ///< AR accept -> first R beat on a hit
+  bool operator==(const LlcConfig&) const = default;
 };
 
 class LastLevelCache : public sim::Module {

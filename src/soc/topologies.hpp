@@ -1,0 +1,36 @@
+#pragma once
+
+#include "soc/desc.hpp"
+#include "tmu/config.hpp"
+
+namespace soc {
+
+/// The paper's system-level testbed (Fig. 10) as data: two CVA6
+/// stand-ins, a traffic-gen iDMA stand-in and the descriptor-based DMA
+/// engine drive the crossbar; the LLC/DRAM, the generic peripheral and
+/// the monitored Ethernet IP hang off it. A Full-Counter-class TMU
+/// ("tmu", injectors "inj_m"/"inj_s", reset unit "reset_unit") guards
+/// the Ethernet endpoint, a Tiny-Counter TMU ("periph_tmu") guards the
+/// peripheral, and the PLIC-lite + CVA6 recovery stub close the loop.
+/// CheshireSystem is a facade over exactly this desc.
+SocDesc cheshire_desc(const tmu::TmuConfig& tmu_cfg,
+                      const EthernetConfig& eth_cfg = {});
+
+/// The Tiny-Counter configuration of the Cheshire peripheral guard
+/// (§IV: mixing Tc and Fc monitors within the same SoC).
+tmu::TmuConfig periph_tc_config();
+
+/// The Fig. 8/9 IP-level fault-trial testbench as data: one traffic
+/// generator ("gen") wired point-to-point (no crossbar) into
+/// "inj_m" -> "tmu" -> "inj_s" -> "mem", with the external reset unit
+/// "rst". This is the default topology of campaign::TrialSpec.
+SocDesc ip_testbench_desc(const tmu::TmuConfig& cfg = {});
+
+/// Synthetic scaling grid: n_mgr traffic generators ("gen0"...) into an
+/// n_mgr x n_sub crossbar over memory subordinates ("mem0"...), each
+/// owning a 64 KiB window; the first `active` managers carry random
+/// traffic (25% duty in the scaling bench), the rest idle. Callers pick
+/// the scheduler policy / crossbar impl on the returned desc.
+SocDesc grid_desc(unsigned n_mgr, unsigned n_sub, unsigned active);
+
+}  // namespace soc

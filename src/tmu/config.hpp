@@ -74,6 +74,8 @@ struct PhaseBudgets {
   std::uint32_t ar_rdy_r_vld = 32;
   std::uint32_t r_vld_r_rdy = 16;
   std::uint32_t r_vld_r_last = 32;
+
+  bool operator==(const PhaseBudgets&) const = default;
 };
 
 /// Adaptive time-budgeting knobs (§II-F): budgets grow with burst length
@@ -85,6 +87,8 @@ struct AdaptiveBudget {
   std::uint32_t cycles_per_beat = 2;   ///< added to data phase per beat
   std::uint32_t cycles_per_ahead = 4;  ///< added to queue wait per older
                                        ///< outstanding beat
+
+  bool operator==(const AdaptiveBudget&) const = default;
 };
 
 /// Complete TMU configuration (the paper's software-visible registers
@@ -122,6 +126,8 @@ struct TmuConfig {
   // newest entry and counts it (readable through the register file).
   std::uint32_t fault_log_depth = 64;
   std::uint32_t perf_log_depth = 256;
+
+  bool operator==(const TmuConfig&) const = default;
 };
 
 }  // namespace tmu

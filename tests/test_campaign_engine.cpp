@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -14,6 +15,7 @@
 
 #include "campaign/campaign.hpp"
 #include "sim/logger.hpp"
+#include "soc/topologies.hpp"
 #include "tmu/config.hpp"
 
 namespace {
@@ -151,10 +153,37 @@ TEST_F(CampaignEngine, CustomTrialFnAndJsonShape) {
       });
   EXPECT_EQ(rep.total_trials(), 5u);
   const std::string json = rep.to_json();
-  EXPECT_NE(json.find("\"schema\": \"tmu-campaign-report-v1\""),
+  EXPECT_NE(json.find("\"schema\": \"tmu-campaign-report-v2\""),
             std::string::npos);
   EXPECT_NE(json.find("synthetic \\\"quoted\\\""), std::string::npos);
   EXPECT_NE(json.find("\"false_positives\": 0"), std::string::npos);
+  // v2: every summary names the topology its trials elaborated
+  // (default TrialSpec -> the IP-level testbench desc) plus its
+  // 64-bit fingerprint as a hex string.
+  EXPECT_NE(json.find("\"topology\": \"ip_testbench\""), std::string::npos);
+  char hash_field[64];
+  std::snprintf(hash_field, sizeof hash_field,
+                "\"topology_hash\": \"%016llx\"",
+                static_cast<unsigned long long>(
+                    soc::ip_testbench_desc().hash()));
+  EXPECT_NE(json.find(hash_field), std::string::npos);
+}
+
+TEST_F(CampaignEngine, MixedTopologiesAreReportedAsMixed) {
+  campaign::TrialSpec a;  // default ip_testbench
+  campaign::TrialSpec b;
+  b.desc = soc::grid_desc(2, 2, 1);
+  campaign::Scenario sc;
+  sc.label = "mixed_topo";
+  sc.trials = {a, b};
+  campaign::Engine eng({1, 3ull});
+  const campaign::Report rep =
+      eng.run({sc}, [](const campaign::TrialSpec&) {
+        return campaign::TrialResult{};
+      });
+  EXPECT_EQ(rep.scenarios[0].topology, "mixed");
+  EXPECT_EQ(rep.scenarios[0].topology_hash, 0u);
+  EXPECT_EQ(rep.overall.topology, "mixed");
 }
 
 TEST_F(CampaignEngine, WorkerExceptionPropagatesToCaller) {

@@ -1,0 +1,250 @@
+// SocBuilder validation and SocDesc JSON round-trip: every malformed
+// desc class throws std::invalid_argument naming the culprit blocks,
+// and the canonical topologies survive to_json -> from_json with full
+// equality (and a stable hash).
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "axi/traffic_gen.hpp"
+#include "soc/builder.hpp"
+#include "soc/cheshire.hpp"
+#include "soc/topologies.hpp"
+#include "tmu/tmu.hpp"
+
+namespace {
+
+using soc::GuardDesc;
+using soc::ManagerDesc;
+using soc::SocBuilder;
+using soc::SocDesc;
+using soc::SubordinateDesc;
+
+/// Minimal valid two-endpoint desc the malformed variants start from.
+SocDesc base_desc() {
+  SocDesc d;
+  d.name = "base";
+  ManagerDesc m;
+  m.name = "gen";
+  d.managers = {m};
+  SubordinateDesc s0;
+  s0.name = "mem0";
+  s0.base = 0x0000;
+  s0.size = 0x1000;
+  SubordinateDesc s1;
+  s1.name = "mem1";
+  s1.base = 0x1000;
+  s1.size = 0x1000;
+  d.subordinates = {s0, s1};
+  return d;
+}
+
+/// The validation error must name the offending blocks.
+void expect_invalid(const SocDesc& d, const std::string& fragment) {
+  try {
+    SocBuilder::validate(d);
+    FAIL() << "expected std::invalid_argument mentioning \"" << fragment
+           << "\"";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+        << "error was: " << e.what();
+  }
+}
+
+TEST(SocBuilderValidation, AcceptsTheCanonicalTopologies) {
+  EXPECT_NO_THROW(SocBuilder::validate(soc::cheshire_desc({})));
+  EXPECT_NO_THROW(SocBuilder::validate(soc::ip_testbench_desc()));
+  EXPECT_NO_THROW(SocBuilder::validate(soc::grid_desc(4, 3, 1)));
+}
+
+TEST(SocBuilderValidation, DuplicateBlockNameNamesTheCulprit) {
+  SocDesc d = base_desc();
+  ManagerDesc m2;
+  m2.name = "mem1";  // collides with a subordinate
+  d.managers.push_back(m2);
+  expect_invalid(d, "duplicate block name 'mem1'");
+
+  SocDesc d2 = base_desc();
+  d2.subordinates[1].name = "mem0";
+  d2.subordinates[1].base = 0x1000;
+  expect_invalid(d2, "duplicate block name 'mem0'");
+}
+
+TEST(SocBuilderValidation, EmptyAndMissingPieces) {
+  SocDesc d = base_desc();
+  d.managers.clear();
+  expect_invalid(d, "no managers");
+
+  SocDesc d2 = base_desc();
+  d2.subordinates.clear();
+  expect_invalid(d2, "no subordinates");
+
+  SocDesc d3 = base_desc();
+  d3.managers[0].name = "";
+  expect_invalid(d3, "empty name");
+}
+
+TEST(SocBuilderValidation, GuardOnUnknownSubordinateIsDangling) {
+  SocDesc d = base_desc();
+  GuardDesc g;
+  g.name = "tmu";
+  g.subordinate = "nonexistent";
+  d.guards = {g};
+  expect_invalid(d, "guard 'tmu' references unknown subordinate "
+                    "'nonexistent'");
+}
+
+TEST(SocBuilderValidation, DoubleGuardOnOneSubordinate) {
+  SocDesc d = base_desc();
+  GuardDesc g0;
+  g0.name = "tmu0";
+  g0.subordinate = "mem0";
+  GuardDesc g1;
+  g1.name = "tmu1";
+  g1.subordinate = "mem0";
+  d.guards = {g0, g1};
+  expect_invalid(d, "'mem0' is guarded twice, by 'tmu0' and 'tmu1'");
+}
+
+TEST(SocBuilderValidation, OverlappingAndUnreachableWindows) {
+  SocDesc d = base_desc();
+  d.subordinates[1].base = 0x0800;  // overlaps mem0's [0, 0x1000)
+  expect_invalid(d, "address windows of 'mem0' and 'mem1' overlap");
+
+  SocDesc d2 = base_desc();
+  d2.subordinates[0].size = 0;
+  expect_invalid(d2, "subordinate 'mem0' has an empty address window");
+
+  SocDesc d3 = base_desc();
+  d3.subordinates[1].base = ~0ull - 0x10;
+  d3.subordinates[1].size = 0x1000;
+  expect_invalid(d3, "'mem1' address window wraps");
+}
+
+TEST(SocBuilderValidation, PointToPointConstraints) {
+  SocDesc d = soc::ip_testbench_desc();
+  ManagerDesc extra;
+  extra.name = "gen2";
+  d.managers.push_back(extra);
+  expect_invalid(d, "point-to-point");
+}
+
+TEST(SocBuilderValidation, DmaManagerWithRandomTraffic) {
+  SocDesc d = base_desc();
+  d.managers[0].kind = soc::ManagerKind::kDmaEngine;
+  d.managers[0].traffic.enabled = true;
+  expect_invalid(d, "manager 'gen' is a dma_engine");
+}
+
+TEST(SocBuilderValidation, RecoveryWithNothingToService) {
+  SocDesc d = base_desc();
+  d.recovery.enabled = true;
+  expect_invalid(d, "no guards to service");
+}
+
+TEST(SocBuilderLookup, TypedGetNamesTheCulprit) {
+  const auto soc = SocBuilder::build(soc::ip_testbench_desc());
+  EXPECT_NO_THROW(soc->get<tmu::Tmu>("tmu"));
+  EXPECT_NO_THROW(soc->get<axi::TrafficGenerator>("gen"));
+  try {
+    soc->get<tmu::Tmu>("missing");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("'missing'"), std::string::npos);
+  }
+  try {
+    soc->get<tmu::Tmu>("gen");  // exists, wrong type
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("'gen'"), std::string::npos);
+  }
+}
+
+// ------------------------------------------------------------------
+// JSON round-trip
+// ------------------------------------------------------------------
+
+TEST(SocDescJson, CanonicalTopologiesRoundTrip) {
+  tmu::TmuConfig cfg;
+  cfg.variant = tmu::Variant::kTinyCounter;
+  cfg.tc_total_budget = 123;
+  cfg.prescaler_step = 4;
+  cfg.sticky_bit = true;
+  soc::EthernetConfig eth;
+  eth.tx_fifo_beats = 32;
+  for (const SocDesc& d :
+       {soc::cheshire_desc(cfg, eth), soc::ip_testbench_desc(cfg),
+        soc::grid_desc(4, 3, 1), soc::grid_desc(1, 1, 0)}) {
+    const std::string json = d.to_json();
+    const SocDesc back = SocDesc::from_json(json);
+    EXPECT_EQ(d, back) << "round-trip mismatch for '" << d.name << "'";
+    EXPECT_EQ(back.to_json(), json);
+    EXPECT_EQ(d.hash(), back.hash());
+  }
+}
+
+TEST(SocDescJson, FullPrecisionSeedsAndAddressesSurvive) {
+  SocDesc d = base_desc();
+  d.managers[0].seed = 0xDEADBEEFCAFEBABEull;  // > 53-bit mantissa
+  d.managers[0].traffic.p_new_txn = 0.1;  // not exactly representable
+  d.subordinates[1].base = 0xFFFF'FFFF'0000'0000ull;
+  d.subordinates[1].size = 0x8000'0000ull;
+  const SocDesc back = SocDesc::from_json(d.to_json());
+  EXPECT_EQ(d, back);
+}
+
+TEST(SocDescJson, HashDistinguishesTopologies) {
+  EXPECT_NE(soc::grid_desc(4, 3, 1).hash(), soc::grid_desc(4, 4, 1).hash());
+  EXPECT_NE(soc::ip_testbench_desc().hash(), soc::cheshire_desc({}).hash());
+  // Equal descs hash equal (determinism across calls).
+  EXPECT_EQ(soc::grid_desc(8, 6, 2).hash(), soc::grid_desc(8, 6, 2).hash());
+}
+
+TEST(SocDescJson, MalformedDocumentsThrowNamingTheProblem) {
+  EXPECT_THROW(SocDesc::from_json("not json"), std::invalid_argument);
+  EXPECT_THROW(SocDesc::from_json("{}"), std::invalid_argument);  // schema
+  try {
+    SocDesc::from_json(R"({"schema": "tmu-soc-desc-v1", "nope": 1})");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown key \"nope\""),
+              std::string::npos);
+  }
+  try {
+    SocDesc::from_json(
+        R"({"schema": "tmu-soc-desc-v1", "policy": "sometimes"})");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("sometimes"), std::string::npos);
+  }
+  // Out-of-range integers must fail naming the field, not truncate
+  // into a silently different topology.
+  try {
+    SocDesc::from_json(R"({"schema": "tmu-soc-desc-v1", "managers":
+        [{"name": "g", "traffic": {"len_max": 300}}]})");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("len_max"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("300"), std::string::npos);
+  }
+  EXPECT_THROW(
+      SocDesc::from_json(
+          R"({"schema": "tmu-soc-desc-v1", "id_shift": 99999999999999999999})"),
+      std::invalid_argument);
+}
+
+TEST(SocDescJson, BuildsFromParsedDocument) {
+  // The remote-shard path: serialize, parse, elaborate, run.
+  const std::string json = soc::grid_desc(2, 2, 1).to_json();
+  const auto soc = SocBuilder::build(SocDesc::from_json(json));
+  soc->sim().run(500);
+  std::size_t done = 0;
+  for (const ManagerDesc& m : soc->desc().managers) {
+    done += soc->get<axi::TrafficGenerator>(m.name).completed();
+  }
+  EXPECT_GT(done, 0u);
+}
+
+}  // namespace
