@@ -179,6 +179,61 @@ void print_scaling_knee() {
               "event-driven)\n");
 }
 
+// ------------------------------------------------------------------
+// Hierarchy dimension: the same leaf count flat vs regrouped behind
+// latency-1 ID-remapping bridges (soc::hier_grid_desc). Two effects
+// compete: each cluster adds a bridge + nested crossbar (more modules,
+// two extra cycles per crossing), but the root crossbar shrinks from
+// N x M to N x C ports and idle clusters sit entirely behind a single
+// quiet bridge, which the event-driven kernel never wakes.
+// ------------------------------------------------------------------
+
+std::unique_ptr<soc::Soc> make_hgrid(unsigned n_mgr, unsigned n_cluster,
+                                     unsigned per_cluster, unsigned active,
+                                     SchedPolicy policy) {
+  soc::SocDesc d = soc::hier_grid_desc(n_mgr, n_cluster, per_cluster, active);
+  d.policy = policy;
+  return soc::SocBuilder::build(d);
+}
+
+double hgrid_rate(unsigned n_mgr, unsigned n_cluster, unsigned per_cluster,
+                  unsigned active, SchedPolicy policy, std::uint64_t cycles) {
+  const auto g = make_hgrid(n_mgr, n_cluster, per_cluster, active, policy);
+  const auto t0 = std::chrono::steady_clock::now();
+  g->sim().run(cycles);
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - t0;
+  return static_cast<double>(cycles) / dt.count();
+}
+
+void print_hierarchy_knee() {
+  bench::header(
+      "Hierarchy dimension — flat crossbar vs 2-level clusters, same leaves",
+      "hier = leaves regrouped behind latency-1 ID-remapping bridges; "
+      "25% managers active, event-driven + sharded crossbars");
+  std::printf("%6s %7s %14s %16s %16s %9s\n", "mgrs", "leaves", "flat NxM",
+              "hier clusters", "hier (cyc/s)", "vs flat");
+  bench::rule(74);
+  constexpr std::uint64_t kCycles = 4000;
+  // {n_mgr, n_cluster, per_cluster}: leaf counts match the flat grid
+  // rows (8x6, 16x12, 32x24 — the knee table above).
+  const unsigned grid[][3] = {{8, 2, 3}, {16, 4, 3}, {32, 8, 3}};
+  for (const auto& [n_mgr, n_cluster, per] : grid) {
+    const unsigned n_sub = n_cluster * per;
+    const unsigned active = n_mgr >= 4 ? n_mgr / 4 : 1;
+    const double flat =
+        grid_rate(n_mgr, n_sub, active, SchedPolicy::kEventDriven,
+                  axi::XbarImpl::kSharded, kCycles);
+    const double hier = hgrid_rate(n_mgr, n_cluster, per, active,
+                                   SchedPolicy::kEventDriven, kCycles);
+    std::printf("%6u %7u %14.0f %7ux(%ux%u) %16.0f %8.2fx\n", n_mgr, n_sub,
+                flat, n_mgr, n_cluster, per, hier, hier / flat);
+  }
+  bench::rule(74);
+  std::printf("(cycles/s; same managers, traffic and leaf address map in "
+              "both shapes)\n");
+}
+
 void BM_GridSoc(benchmark::State& state) {
   const unsigned n_mgr = static_cast<unsigned>(state.range(0));
   const unsigned n_sub = static_cast<unsigned>(state.range(1));
@@ -209,6 +264,31 @@ BENCHMARK(BM_GridSoc)
     ->Args({32, 24, 1, 1})
     ->Unit(benchmark::kMicrosecond);
 
+/// Two-level counterpart of BM_GridSoc: {n_mgr, n_cluster, per_cluster,
+/// policy}; leaf counts mirror the flat rows so the baseline carries the
+/// flat-vs-hier trajectory.
+void BM_HGridSoc(benchmark::State& state) {
+  const unsigned n_mgr = static_cast<unsigned>(state.range(0));
+  const unsigned n_cluster = static_cast<unsigned>(state.range(1));
+  const unsigned per = static_cast<unsigned>(state.range(2));
+  const SchedPolicy policy = state.range(3) == 0 ? SchedPolicy::kFullSweep
+                                                 : SchedPolicy::kEventDriven;
+  const auto g = make_hgrid(n_mgr, n_cluster, per,
+                            n_mgr >= 4 ? n_mgr / 4 : 1, policy);
+  for (auto _ : state) {
+    g->sim().run(100);
+  }
+  state.SetLabel(std::string(sim::sched::to_string(policy)) + "/bridged");
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 100.0,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_HGridSoc)
+    ->Args({16, 4, 3, 0})
+    ->Args({16, 4, 3, 1})
+    ->Args({32, 8, 3, 1})
+    ->Unit(benchmark::kMicrosecond);
+
 /// CI does-it-run gate (`--smoke`): small grids, few cycles, and a
 /// cross-implementation determinism check — identically seeded
 /// monolithic and sharded grids must complete exactly the same traffic.
@@ -236,6 +316,17 @@ int run_smoke() {
                 grid_completed(*sweep), ok ? "OK" : "MISMATCH");
     if (!ok) ++failures;
   }
+  // Hierarchy: both schedulers must complete identical traffic through
+  // the bridged 2-level grid (the bridge is in the deterministic path).
+  const auto hev = make_hgrid(8, 2, 3, 2, SchedPolicy::kEventDriven);
+  const auto hfs = make_hgrid(8, 2, 3, 2, SchedPolicy::kFullSweep);
+  hev->sim().run(500);
+  hfs->sim().run(500);
+  const std::size_t hdone = grid_completed(*hev);
+  const bool hok = grid_completed(*hfs) == hdone && hdone > 0;
+  std::printf("smoke 8x(2x3) hier: event=%zu full=%zu %s\n", hdone,
+              grid_completed(*hfs), hok ? "OK" : "MISMATCH");
+  if (!hok) ++failures;
   return failures == 0 ? 0 : 1;
 }
 
@@ -253,6 +344,7 @@ int main(int argc, char** argv) {
     print_area_table();
     run_concurrent_recovery();
     print_scaling_knee();
+    print_hierarchy_knee();
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -40,6 +40,17 @@ echo "check.sh: sharded vs monolithic crossbar equivalence OK"
 ./build/test_soc_desc_equiv --gtest_brief=1
 echo "check.sh: builder vs hand-wired topology equivalence OK"
 
+# Hierarchy gate: the degenerate 1-level cluster wrap (transparent
+# bridges) must be cycle-exact against the flat build under both
+# schedulers, and hierarchical campaign reports must be byte-identical
+# across thread counts with the v2 topology hash recorded.
+./build/test_soc_hier_equiv --gtest_brief=1
+echo "check.sh: flat vs hierarchical topology equivalence OK"
+
+# Desc schema gate: nested round-trip fuzz + v1 -> v2 migration smoke.
+./build/test_soc_desc_roundtrip --gtest_brief=1
+echo "check.sh: SocDesc round-trip + v1 migration OK"
+
 # Scaling-bench smoke: the grid SoC sweep must construct and run at
 # small sizes with deterministic cross-implementation traffic counts.
 ./build/bench_soc_scaling --smoke

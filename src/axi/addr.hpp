@@ -43,4 +43,20 @@ inline bool legal_wrap_len(std::uint8_t len) {
   return b == 2 || b == 4 || b == 8 || b == 16;
 }
 
+/// DRAM-style row/bank/column address split (the Sniper
+/// dram_perf_model_detailed mapping): the low col_bits select the
+/// column within a row, the next log2(num_banks) bits interleave
+/// consecutive rows across banks, the rest is the row index.
+/// num_banks must be a power of two.
+inline std::uint64_t dram_bank(Addr a, std::uint32_t col_bits,
+                               std::uint32_t num_banks) {
+  return (a >> col_bits) & (num_banks - 1);
+}
+inline std::uint64_t dram_row(Addr a, std::uint32_t col_bits,
+                              std::uint32_t num_banks) {
+  std::uint32_t bank_bits = 0;
+  while ((1u << bank_bits) < num_banks) ++bank_bits;
+  return a >> (col_bits + bank_bits);
+}
+
 }  // namespace axi

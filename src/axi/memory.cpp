@@ -1,12 +1,44 @@
 #include "axi/memory.hpp"
 
+#include <stdexcept>
+
 #include "axi/addr.hpp"
 
 namespace axi {
 
 MemorySubordinate::MemorySubordinate(std::string name, Link& link,
                                      MemoryConfig cfg)
-    : sim::Module(std::move(name)), link_(link), cfg_(cfg) {}
+    : sim::Module(std::move(name)), link_(link), cfg_(cfg) {
+  if (cfg_.bank.enabled) {
+    const std::uint32_t n = cfg_.bank.num_banks;
+    if (n == 0 || (n & (n - 1)) != 0) {
+      throw std::invalid_argument("MemorySubordinate '" + this->name() +
+                                  "': bank.num_banks must be a power of two");
+    }
+    bank_row_.assign(n, kRowClosed);
+  }
+}
+
+std::uint32_t MemorySubordinate::bank_access(Addr a) {
+  if (!cfg_.bank.enabled) return 0;
+  const BankTimingConfig& b = cfg_.bank;
+  const std::uint64_t bank = dram_bank(a, b.col_bits, b.num_banks);
+  const std::uint64_t row = dram_row(a, b.col_bits, b.num_banks);
+  std::uint64_t& open = bank_row_[bank];
+  std::uint32_t extra;
+  if (open == row) {
+    extra = b.t_hit;
+    ++row_hits_;
+  } else if (open == kRowClosed) {
+    extra = b.t_miss;
+    ++row_misses_;
+  } else {
+    extra = b.t_conflict;
+    ++row_conflicts_;
+  }
+  open = b.open_page ? row : kRowClosed;
+  return extra;
+}
 
 void MemorySubordinate::store_beat(Addr a, std::uint8_t size, Data data,
                                    std::uint8_t strb) {
@@ -84,6 +116,7 @@ void MemorySubordinate::tick() {
     read_q_.clear();
     aw_wait_ = ar_wait_ = 0;
     w_rate_cnt_ = r_rate_cnt_ = 0;
+    close_all_rows();  // a domain reset precharges every bank
     clear_inflight_ = false;
     ++cycle_;
     tick_evt_ = true;  // queues flushed: response outputs may drop
@@ -109,10 +142,13 @@ void MemorySubordinate::tick() {
     ++t.beats_got;
     if (q.w.last || t.beats_got == beats(t.aw.len)) {
       t.data_done = true;
+      // Bank timing charges the whole burst once at its start address
+      // (writes update the row buffer before same-edge AR accepts, a
+      // fixed order that keeps trials deterministic).
       b_q_.push_back(PendingB{t.aw.id,
                               in_error_region(t.aw.addr) ? Resp::kSlvErr
                                                          : Resp::kOkay,
-                              cycle_ + cfg_.b_latency});
+                              cycle_ + cfg_.b_latency + bank_access(t.aw.addr)});
       write_q_.pop_front();
       ++writes_done_;
     }
@@ -131,7 +167,8 @@ void MemorySubordinate::tick() {
     ++ar_wait_;
   }
   if (ar_fire(q, s)) {
-    read_q_.push_back(ReadTxn{q.ar, 0, cycle_ + cfg_.r_first_latency});
+    read_q_.push_back(ReadTxn{
+        q.ar, 0, cycle_ + cfg_.r_first_latency + bank_access(q.ar.addr)});
     ar_wait_ = 0;
   }
 
@@ -167,6 +204,8 @@ void MemorySubordinate::reset() {
   w_rate_cnt_ = r_rate_cnt_ = 0;
   cycle_ = 0;
   writes_done_ = reads_done_ = 0;
+  close_all_rows();
+  row_hits_ = row_misses_ = row_conflicts_ = 0;
   clear_inflight_ = false;
   link_.rsp.force(AxiRsp{});
 }

@@ -6,12 +6,31 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "axi/link.hpp"
 #include "axi/types.hpp"
 #include "sim/module.hpp"
 
 namespace axi {
+
+/// Optional DRAM-style bank/row-buffer timing (off by default, so plain
+/// SRAM-like subordinates keep the constant latencies below). Modeled on
+/// Sniper's dram_perf_model_detailed: each access selects a bank by
+/// address interleaving and pays an extra latency depending on that
+/// bank's row buffer — hit (row open), miss (bank idle, activate), or
+/// conflict (another row open, precharge + activate). Closed-page
+/// policy closes the row after every access, so every access is a miss.
+struct BankTimingConfig {
+  bool enabled = false;
+  std::uint32_t num_banks = 4;   ///< power of two
+  std::uint32_t col_bits = 6;    ///< log2(row-interleave granularity bytes)
+  bool open_page = true;         ///< keep the row open after an access
+  std::uint32_t t_hit = 0;       ///< extra cycles, row-buffer hit
+  std::uint32_t t_miss = 6;      ///< extra cycles, bank idle (activate)
+  std::uint32_t t_conflict = 12; ///< extra cycles, row conflict (pre+act)
+  bool operator==(const BankTimingConfig&) const = default;
+};
 
 /// Timing/behaviour knobs for the memory model.
 struct MemoryConfig {
@@ -24,6 +43,7 @@ struct MemoryConfig {
   std::size_t max_outstanding = 16;     ///< per direction
   /// Addresses in [error_base, error_end) respond SLVERR.
   Addr error_base = 0, error_end = 0;
+  BankTimingConfig bank{};  ///< optional variable DRAM timing
   bool operator==(const MemoryConfig&) const = default;
 };
 
@@ -54,6 +74,11 @@ class MemorySubordinate : public sim::Module {
   std::size_t writes_done() const { return writes_done_; }
   std::size_t reads_done() const { return reads_done_; }
 
+  /// Bank-timing telemetry (all zero while cfg.bank.enabled is false).
+  std::size_t row_hits() const { return row_hits_; }
+  std::size_t row_misses() const { return row_misses_; }
+  std::size_t row_conflicts() const { return row_conflicts_; }
+
   /// External hardware reset input (from a reset unit): clears all
   /// in-flight state, keeps storage.
   void hw_reset() {
@@ -83,6 +108,12 @@ class MemorySubordinate : public sim::Module {
   bool in_error_region(Addr a) const {
     return cfg_.error_end > cfg_.error_base && a >= cfg_.error_base &&
            a < cfg_.error_end;
+  }
+  /// Extra latency of one access at `a` under the bank model, updating
+  /// the addressed bank's row buffer. 0 when bank timing is off.
+  std::uint32_t bank_access(Addr a);
+  void close_all_rows() {
+    for (auto& r : bank_row_) r = kRowClosed;
   }
   void store_beat(Addr a, std::uint8_t size, Data data, std::uint8_t strb);
   Data load_beat(Addr a, std::uint8_t size) const;
@@ -137,6 +168,12 @@ class MemorySubordinate : public sim::Module {
   std::uint32_t r_rate_cnt_ = 0;
   std::uint64_t cycle_ = 0;
   std::size_t writes_done_ = 0, reads_done_ = 0;
+
+  /// Open row per bank (kRowClosed = none). Sized num_banks when bank
+  /// timing is enabled, empty otherwise.
+  static constexpr std::uint64_t kRowClosed = ~std::uint64_t{0};
+  std::vector<std::uint64_t> bank_row_;
+  std::size_t row_hits_ = 0, row_misses_ = 0, row_conflicts_ = 0;
   bool clear_inflight_ = false;
   bool tick_evt_ = true;  ///< last tick touched eval-relevant state
 };

@@ -30,7 +30,9 @@ struct TrialSpec {
   /// (serializable, so a remote shard can reconstruct the exact
   /// netlist). Defaults to the Fig. 8/9 IP-level testbench. The trial
   /// drives the first manager (a traffic_gen) and monitors the first
-  /// guard; `cfg` below overrides that guard's TMU config, the
+  /// guard in soc::visit_guards order (root guards first, then nested
+  /// cluster levels depth-first); `cfg` below overrides that guard's
+  /// TMU config, the
   /// engine-derived `seed` overrides that manager's seed, and an
   /// enabled `traffic` overrides that manager's traffic mode (a
   /// disabled one keeps whatever the desc configured), so one topology

@@ -19,18 +19,22 @@ TrialResult run_fault_trial(const TrialSpec& spec) {
         "run_fault_trial: desc '" + d.name +
         "' needs a traffic_gen manager in first position to drive");
   }
-  if (d.guards.empty()) {
+  // The monitored guard is the first in visit_guards order — the first
+  // root-level guard, or, when only nested levels are guarded, the
+  // first guard of the first cluster depth-first.
+  soc::GuardDesc* monitored = soc::first_guard(d);
+  if (monitored == nullptr) {
     throw std::invalid_argument("run_fault_trial: desc '" + d.name +
                                 "' declares no guard (TMU) to monitor");
   }
   d.managers.front().seed = spec.seed;
-  d.guards.front().cfg = spec.cfg;
+  monitored->cfg = spec.cfg;
 
   const std::unique_ptr<soc::Soc> soc = soc::SocBuilder::build(d);
   sim::Simulator& s = soc->sim();
   axi::TrafficGenerator& gen =
       soc->get<axi::TrafficGenerator>(d.managers.front().name);
-  const soc::GuardDesc& guard = d.guards.front();
+  const soc::GuardDesc& guard = *monitored;
   tmu::Tmu& t = soc->get<tmu::Tmu>(guard.name);
   // spec.traffic drives the trial; a default (disabled) spec must not
   // clobber the traffic mode a custom desc configured for its manager.

@@ -9,18 +9,25 @@
 //   2. the crossbar (when enabled)
 //   3. per subordinate, in declaration order: the guard chain
 //      upstream -> downstream (mgr injector, TMU, sub injector), the
-//      LLC, then the endpoint
-//   4. reset units, in guard declaration order
+//      LLC, then the endpoint. A kCluster endpoint is an axi::Bridge
+//      followed depth-first by the nested level in the same order
+//      (cluster crossbar, then its subordinate chains).
+//   4. reset units, in guard order (visit_guards order: a level's
+//      guards in declaration order, clusters depth-first)
 //   5. the PLIC, then the CPU recovery stub
 // Wire-coupled blocks are order-insensitive (no model writes wires in
 // tick()), which tests/test_soc_desc_equiv.cpp pins for the Cheshire
-// topology.
+// topology and tests/test_soc_hier_equiv.cpp for the nested variant.
 
 #include "soc/builder.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <map>
+#include <optional>
 #include <set>
 
+#include "axi/bridge.hpp"
 #include "axi/crossbar.hpp"
 #include "axi/memory.hpp"
 #include "axi/traffic_gen.hpp"
@@ -41,20 +48,29 @@ std::string llc_name_of(const SubordinateDesc& s) {
   return s.llc_name.empty() ? s.name + ".llc" : s.llc_name;
 }
 
-/// The guard of subordinate `s`, or nullptr. Uniqueness is validated.
-const GuardDesc* guard_of(const SocDesc& d, const SubordinateDesc& s) {
-  for (const GuardDesc& g : d.guards) {
+std::string xbar_name_of(const SubordinateDesc& s) {
+  const ClusterDesc& c = s.cluster.front();
+  return c.xbar_name.empty() ? s.name + ".xbar" : c.xbar_name;
+}
+
+/// The guard of subordinate `s` among its level's guards, or nullptr.
+/// Uniqueness is validated.
+const GuardDesc* guard_of(const std::vector<GuardDesc>& guards,
+                          const SubordinateDesc& s) {
+  for (const GuardDesc& g : guards) {
     if (g.subordinate == s.name) return &g;
   }
   return nullptr;
 }
 
 /// Block sequence of a subordinate chain, upstream to downstream; the
-/// first entry names the chain's head link ("<first>.in").
-std::vector<std::string> chain_blocks(const SocDesc& d,
+/// first entry names the chain's head link ("<first>.in"). For a
+/// kCluster subordinate the last entry is the bridge (the nested level
+/// continues behind it).
+std::vector<std::string> chain_blocks(const std::vector<GuardDesc>& guards,
                                       const SubordinateDesc& s) {
   std::vector<std::string> blocks;
-  if (const GuardDesc* g = guard_of(d, s)) {
+  if (const GuardDesc* g = guard_of(guards, s)) {
     if (!g->mgr_injector.empty()) blocks.push_back(g->mgr_injector);
     blocks.push_back(g->name);
     if (!g->sub_injector.empty()) blocks.push_back(g->sub_injector);
@@ -62,6 +78,16 @@ std::vector<std::string> chain_blocks(const SocDesc& d,
   if (s.llc) blocks.push_back(llc_name_of(s));
   blocks.push_back(s.name);
   return blocks;
+}
+
+/// Bits needed to represent x (bits_for(0) = 0).
+unsigned bits_for(std::uint64_t x) {
+  unsigned b = 0;
+  while (x != 0) {
+    ++b;
+    x >>= 1;
+  }
+  return b;
 }
 
 }  // namespace
@@ -74,7 +100,7 @@ void SocBuilder::validate(const SocDesc& d) {
   if (d.managers.empty()) err("no managers declared");
   if (d.subordinates.empty()) err("no subordinates declared");
 
-  std::set<std::string> names;
+  std::set<std::string> names;  // tree-wide: block names are global
   const auto claim = [&](const std::string& n, const char* what) {
     if (n.empty()) err(std::string("a ") + what + " has an empty name");
     if (!names.insert(n).second) {
@@ -90,36 +116,149 @@ void SocBuilder::validate(const SocDesc& d) {
           "(only traffic_gen managers generate random traffic)");
     }
   }
-  for (const SubordinateDesc& s : d.subordinates) {
-    claim(s.name, "subordinate");
-    if (s.llc) claim(llc_name_of(s), "llc");
-  }
   if (d.crossbar) claim(d.xbar_name, "crossbar");
 
-  std::map<std::string, std::string> guard_by_sub;
-  for (const GuardDesc& g : d.guards) {
-    claim(g.name, "guard");
-    if (!g.mgr_injector.empty()) claim(g.mgr_injector, "mgr_injector");
-    if (!g.sub_injector.empty()) claim(g.sub_injector, "sub_injector");
-    if (!g.reset_unit.empty()) claim(g.reset_unit, "reset_unit");
-    const bool known = std::any_of(
-        d.subordinates.begin(), d.subordinates.end(),
-        [&](const SubordinateDesc& s) { return s.name == g.subordinate; });
-    if (!known) {
-      err("guard '" + g.name + "' references unknown subordinate '" +
-          g.subordinate + "'");
-    }
-    const auto [it, fresh] = guard_by_sub.emplace(g.subordinate, g.name);
-    if (!fresh) {
-      err("subordinate '" + g.subordinate +
-          "' is guarded twice, by '" + it->second + "' and '" + g.name + "'");
-    }
-  }
+  // One interconnect level: subordinate/guard name claims and
+  // references, address-window sanity (when the level decodes), window
+  // containment in the parent cluster's window, ID-width feasibility of
+  // nested crossbars, and recursion into cluster payloads.
+  using Window = std::pair<axi::Addr, axi::Addr>;  // [base, base + size)
+  const std::function<void(const std::vector<SubordinateDesc>&,
+                           const std::vector<GuardDesc>&, bool,
+                           std::optional<Window>, unsigned)>
+      check_level = [&](const std::vector<SubordinateDesc>& subs,
+                        const std::vector<GuardDesc>& guards, bool decode,
+                        std::optional<Window> parent, unsigned in_id_bits) {
+        for (const SubordinateDesc& s : subs) {
+          claim(s.name, "subordinate");
+          if (s.llc) claim(llc_name_of(s), "llc");
+          if ((s.kind == SubordinateKind::kCluster) != (s.cluster.size() == 1)) {
+            if (s.kind == SubordinateKind::kCluster) {
+              err("subordinate '" + s.name +
+                  "' is a cluster but carries no ClusterDesc payload");
+            }
+            err("subordinate '" + s.name + "' carries a cluster payload but "
+                "is not of kind cluster");
+          }
+          if (s.kind == SubordinateKind::kMemory && s.mem.bank.enabled) {
+            const std::uint32_t n = s.mem.bank.num_banks;
+            if (n == 0 || (n & (n - 1)) != 0) {
+              err("subordinate '" + s.name + "' bank.num_banks " +
+                  std::to_string(n) + " is not a power of two");
+            }
+          }
+        }
+
+        std::map<std::string, std::string> guard_by_sub;
+        for (const GuardDesc& g : guards) {
+          claim(g.name, "guard");
+          if (!g.mgr_injector.empty()) claim(g.mgr_injector, "mgr_injector");
+          if (!g.sub_injector.empty()) claim(g.sub_injector, "sub_injector");
+          if (!g.reset_unit.empty()) claim(g.reset_unit, "reset_unit");
+          const bool known = std::any_of(
+              subs.begin(), subs.end(),
+              [&](const SubordinateDesc& s) { return s.name == g.subordinate; });
+          if (!known) {
+            err("guard '" + g.name + "' references unknown subordinate '" +
+                g.subordinate + "' (guards bind to their own level)");
+          }
+          const auto [it, fresh] = guard_by_sub.emplace(g.subordinate, g.name);
+          if (!fresh) {
+            err("subordinate '" + g.subordinate + "' is guarded twice, by '" +
+                it->second + "' and '" + g.name + "'");
+          }
+        }
+
+        if (decode) {
+          for (const SubordinateDesc& s : subs) {
+            if (s.size == 0) {
+              err("subordinate '" + s.name +
+                  "' has an empty address window (unreachable)");
+            }
+            if (s.base + s.size < s.base) {
+              err("subordinate '" + s.name +
+                  "' address window wraps the address space");
+            }
+            if (parent &&
+                (s.base < parent->first || s.base + s.size > parent->second)) {
+              err("subordinate '" + s.name +
+                  "' address window does not fit inside its cluster's "
+                  "window");
+            }
+          }
+          std::vector<const SubordinateDesc*> by_base;
+          for (const SubordinateDesc& s : subs) by_base.push_back(&s);
+          std::sort(by_base.begin(), by_base.end(),
+                    [](const SubordinateDesc* a, const SubordinateDesc* b) {
+                      return a->base < b->base;
+                    });
+          for (std::size_t i = 1; i < by_base.size(); ++i) {
+            const SubordinateDesc* lo = by_base[i - 1];
+            const SubordinateDesc* hi = by_base[i];
+            if (lo->base + lo->size > hi->base) {
+              err("address windows of '" + lo->name + "' and '" + hi->name +
+                  "' overlap");
+            }
+          }
+        }
+
+        for (const SubordinateDesc& s : subs) {
+          if (s.kind != SubordinateKind::kCluster) continue;
+          const ClusterDesc& c = s.cluster.front();
+          claim(xbar_name_of(s), "cluster crossbar");
+          if (c.subordinates.empty()) {
+            err("cluster '" + s.name + "' declares no subordinates");
+          }
+          const axi::BridgeConfig& b = c.bridge;
+          const bool transparent = b.req_latency == 0 && b.rsp_latency == 0;
+          if ((b.req_latency == 0) != (b.rsp_latency == 0)) {
+            err("cluster '" + s.name + "' bridge mixes zero and non-zero "
+                "latencies (transparent bridges must be transparent both "
+                "ways)");
+          }
+          if (transparent && b.id_remap) {
+            err("cluster '" + s.name +
+                "' bridge cannot remap IDs at latency 0");
+          }
+          if (b.id_remap && b.max_ids == 0) {
+            err("cluster '" + s.name + "' bridge remaps IDs with max_ids 0");
+          }
+          if (!transparent && b.fifo_depth == 0) {
+            err("cluster '" + s.name + "' bridge has fifo_depth 0");
+          }
+          // IDs entering the nested crossbar either carry every outer
+          // level's manager prefix (no remap) or are compacted tIDs;
+          // the nested id_shift must clear them, or the crossbar's
+          // response de-prefixing would corrupt IDs.
+          const unsigned nested_in_bits =
+              b.id_remap ? bits_for(b.max_ids - 1) : in_id_bits;
+          if (c.id_shift < nested_in_bits) {
+            err("cluster '" + s.name + "' id_shift " +
+                std::to_string(c.id_shift) + " is narrower than the " +
+                std::to_string(nested_in_bits) +
+                " ID bits entering the cluster" +
+                (b.id_remap ? " (bridge tIDs)"
+                            : " (enable bridge id_remap or widen it)"));
+          }
+          const std::optional<Window> window =
+              s.size != 0 ? std::optional<Window>({s.base, s.base + s.size})
+                          : std::nullopt;
+          check_level(c.subordinates, c.guards, /*decode=*/true, window,
+                      /*in_id_bits=*/c.id_shift);
+        }
+      };
+
+  const unsigned root_out_bits =
+      d.crossbar ? d.id_shift + bits_for(d.managers.size() - 1) : d.id_shift;
+  check_level(d.subordinates, d.guards, /*decode=*/d.crossbar, std::nullopt,
+              root_out_bits);
 
   if (d.recovery.enabled) {
     claim(d.recovery.plic, "plic");
     claim(d.recovery.cpu, "cpu");
-    if (d.guards.empty()) {
+    std::size_t n_guards = 0;
+    visit_guards(d, [&](const GuardDesc&) { ++n_guards; });
+    if (n_guards == 0) {
       err("recovery block enabled but there are no guards to service");
     }
   }
@@ -130,32 +269,6 @@ void SocBuilder::validate(const SocDesc& d) {
           "manager and one subordinate, got " +
           std::to_string(d.managers.size()) + " and " +
           std::to_string(d.subordinates.size()));
-    }
-    return;  // address windows are ignored without a crossbar
-  }
-
-  for (const SubordinateDesc& s : d.subordinates) {
-    if (s.size == 0) {
-      err("subordinate '" + s.name +
-          "' has an empty address window (unreachable)");
-    }
-    if (s.base + s.size < s.base) {
-      err("subordinate '" + s.name + "' address window wraps the address "
-          "space");
-    }
-  }
-  std::vector<const SubordinateDesc*> by_base;
-  for (const SubordinateDesc& s : d.subordinates) by_base.push_back(&s);
-  std::sort(by_base.begin(), by_base.end(),
-            [](const SubordinateDesc* a, const SubordinateDesc* b) {
-              return a->base < b->base;
-            });
-  for (std::size_t i = 1; i < by_base.size(); ++i) {
-    const SubordinateDesc* lo = by_base[i - 1];
-    const SubordinateDesc* hi = by_base[i];
-    if (lo->base + lo->size > hi->base) {
-      err("address windows of '" + lo->name + "' and '" + hi->name +
-          "' overlap");
     }
   }
 }
@@ -190,93 +303,128 @@ std::unique_ptr<Soc> SocBuilder::build(const SocDesc& desc) {
     }
   }
 
-  // 2. Chain head links (the crossbar's subordinate ports), then the
-  // crossbar itself. Point-to-point, the manager's link doubles as the
-  // head (aliased under the chain-naming scheme too).
-  std::vector<axi::Link*> heads;
-  for (const SubordinateDesc& s : d.subordinates) {
-    const std::string head_name = chain_blocks(d, s).front() + ".in";
-    if (d.crossbar) {
-      heads.push_back(&mk_link(head_name));
-    } else {
-      heads.push_back(mgr_ports.front());
-      soc->link_by_name_[head_name] = mgr_ports.front();
-    }
-  }
-  if (d.crossbar) {
-    std::vector<axi::AddrRange> map;
-    for (std::size_t i = 0; i < d.subordinates.size(); ++i) {
-      map.push_back(
-          axi::AddrRange{d.subordinates[i].base, d.subordinates[i].size, i});
-    }
-    add(std::make_unique<axi::Crossbar>(d.xbar_name, mgr_ports, heads, map,
-                                        d.id_shift, d.xbar_impl));
-  }
-
-  // 3. Subordinate chains. Collected per guard for phase 4/5: the TMU
-  // and the guarded endpoint's hw_reset.
+  // 2 + 3. Interconnect levels, depth-first: per level the chain head
+  // links (that level's crossbar subordinate ports), the crossbar, then
+  // every subordinate chain in declaration order — recursing through a
+  // bridge whenever a chain ends in a cluster. Guards are collected in
+  // visit_guards order for phases 4/5.
   std::map<std::string, tmu::Tmu*> guard_tmu;
   std::map<std::string, std::function<void()>> guard_reset_cb;
-  for (std::size_t si = 0; si < d.subordinates.size(); ++si) {
-    const SubordinateDesc& s = d.subordinates[si];
-    const std::vector<std::string> blocks = chain_blocks(d, s);
-    axi::Link* cur = heads[si];
-    std::size_t bi = 0;
-    const auto next_link = [&]() -> axi::Link& {
-      return mk_link(blocks[bi + 1] + ".in");
-    };
+  std::vector<const GuardDesc*> guard_order;
 
-    tmu::Tmu* t = nullptr;
-    if (const GuardDesc* g = guard_of(d, s)) {
-      if (!g->mgr_injector.empty()) {
-        axi::Link& nxt = next_link();
-        add(std::make_unique<fault::FaultInjector>(g->mgr_injector, *cur, nxt));
-        cur = &nxt;
-        ++bi;
-      }
-      axi::Link& nxt = next_link();
-      t = &static_cast<tmu::Tmu&>(
-          add(std::make_unique<tmu::Tmu>(g->name, *cur, nxt, g->cfg)));
-      guard_tmu[g->name] = t;
-      cur = &nxt;
-      ++bi;
-      if (!g->sub_injector.empty()) {
-        axi::Link& inxt = next_link();
-        add(std::make_unique<fault::FaultInjector>(g->sub_injector, *cur,
-                                                   inxt));
-        cur = &inxt;
-        ++bi;
-      }
-    }
-    if (s.llc) {
-      axi::Link& nxt = next_link();
-      add(std::make_unique<LastLevelCache>(llc_name_of(s), *cur, nxt,
-                                           s.llc_cfg));
-      cur = &nxt;
-      ++bi;
-    }
-    if (s.kind == SubordinateKind::kMemory) {
-      auto& mem = static_cast<axi::MemorySubordinate&>(
-          add(std::make_unique<axi::MemorySubordinate>(s.name, *cur, s.mem)));
-      if (const GuardDesc* g = guard_of(d, s)) {
-        guard_reset_cb[g->name] = [&mem] { mem.hw_reset(); };
-      }
-    } else {
-      auto& eth = static_cast<EthernetPeripheral&>(
-          add(std::make_unique<EthernetPeripheral>(s.name, *cur, s.eth)));
-      if (const GuardDesc* g = guard_of(d, s)) {
-        guard_reset_cb[g->name] = [&eth] { eth.hw_reset(); };
-      }
-    }
-  }
+  const std::function<void(const std::vector<SubordinateDesc>&,
+                           const std::vector<GuardDesc>&,
+                           std::vector<axi::Link*>, const std::string&,
+                           unsigned, bool)>
+      build_level = [&](const std::vector<SubordinateDesc>& subs,
+                        const std::vector<GuardDesc>& guards,
+                        std::vector<axi::Link*> ports,
+                        const std::string& xbar_name, unsigned id_shift,
+                        bool crossbar) {
+        for (const GuardDesc& g : guards) guard_order.push_back(&g);
+
+        std::vector<axi::Link*> heads;
+        for (const SubordinateDesc& s : subs) {
+          const std::string head_name = chain_blocks(guards, s).front() + ".in";
+          if (crossbar) {
+            heads.push_back(&mk_link(head_name));
+          } else {
+            heads.push_back(ports.front());
+            soc->link_by_name_[head_name] = ports.front();
+          }
+        }
+        if (crossbar) {
+          std::vector<axi::AddrRange> map;
+          for (std::size_t i = 0; i < subs.size(); ++i) {
+            map.push_back(axi::AddrRange{subs[i].base, subs[i].size, i});
+          }
+          add(std::make_unique<axi::Crossbar>(xbar_name, ports, heads, map,
+                                              id_shift, d.xbar_impl));
+        }
+
+        for (std::size_t si = 0; si < subs.size(); ++si) {
+          const SubordinateDesc& s = subs[si];
+          const std::vector<std::string> blocks = chain_blocks(guards, s);
+          axi::Link* cur = heads[si];
+          std::size_t bi = 0;
+          const auto next_link = [&]() -> axi::Link& {
+            return mk_link(blocks[bi + 1] + ".in");
+          };
+
+          const GuardDesc* g = guard_of(guards, s);
+          if (g != nullptr) {
+            if (!g->mgr_injector.empty()) {
+              axi::Link& nxt = next_link();
+              add(std::make_unique<fault::FaultInjector>(g->mgr_injector, *cur,
+                                                         nxt));
+              cur = &nxt;
+              ++bi;
+            }
+            axi::Link& nxt = next_link();
+            guard_tmu[g->name] = &static_cast<tmu::Tmu&>(
+                add(std::make_unique<tmu::Tmu>(g->name, *cur, nxt, g->cfg)));
+            cur = &nxt;
+            ++bi;
+            if (!g->sub_injector.empty()) {
+              axi::Link& inxt = next_link();
+              add(std::make_unique<fault::FaultInjector>(g->sub_injector, *cur,
+                                                         inxt));
+              cur = &inxt;
+              ++bi;
+            }
+          }
+          if (s.llc) {
+            axi::Link& nxt = next_link();
+            add(std::make_unique<LastLevelCache>(llc_name_of(s), *cur, nxt,
+                                                 s.llc_cfg));
+            cur = &nxt;
+            ++bi;
+          }
+          switch (s.kind) {
+            case SubordinateKind::kMemory: {
+              auto& mem = static_cast<axi::MemorySubordinate&>(add(
+                  std::make_unique<axi::MemorySubordinate>(s.name, *cur,
+                                                           s.mem)));
+              if (g != nullptr) {
+                guard_reset_cb[g->name] = [&mem] { mem.hw_reset(); };
+              }
+              break;
+            }
+            case SubordinateKind::kEthernet: {
+              auto& eth = static_cast<EthernetPeripheral&>(add(
+                  std::make_unique<EthernetPeripheral>(s.name, *cur, s.eth)));
+              if (g != nullptr) {
+                guard_reset_cb[g->name] = [&eth] { eth.hw_reset(); };
+              }
+              break;
+            }
+            case SubordinateKind::kCluster: {
+              const ClusterDesc& c = s.cluster.front();
+              axi::Link& down = mk_link(s.name + ".down");
+              auto& bridge = static_cast<axi::Bridge&>(add(
+                  std::make_unique<axi::Bridge>(s.name, *cur, down,
+                                                c.bridge)));
+              if (g != nullptr) {
+                guard_reset_cb[g->name] = [&bridge] { bridge.hw_reset(); };
+              }
+              build_level(c.subordinates, c.guards, {&down}, xbar_name_of(s),
+                          c.id_shift, /*crossbar=*/true);
+              break;
+            }
+          }
+        }
+      };
+
+  build_level(d.subordinates, d.guards, mgr_ports, d.xbar_name, d.id_shift,
+              d.crossbar);
 
   // 4. Reset units, in guard order.
-  for (const GuardDesc& g : d.guards) {
-    if (g.reset_unit.empty()) continue;
-    tmu::Tmu& t = *guard_tmu.at(g.name);
-    add(std::make_unique<ResetUnit>(g.reset_unit, t.reset_req, t.reset_ack,
-                                    guard_reset_cb.at(g.name),
-                                    g.reset_duration));
+  for (const GuardDesc* g : guard_order) {
+    if (g->reset_unit.empty()) continue;
+    tmu::Tmu& t = *guard_tmu.at(g->name);
+    add(std::make_unique<ResetUnit>(g->reset_unit, t.reset_req, t.reset_ack,
+                                    guard_reset_cb.at(g->name),
+                                    g->reset_duration));
   }
 
   // 5. Recovery loop: PLIC sources in guard order, then the CPU stub.
@@ -284,8 +432,8 @@ std::unique_ptr<Soc> SocBuilder::build(const SocDesc& desc) {
     auto& plic = static_cast<IrqController&>(
         add(std::make_unique<IrqController>(d.recovery.plic)));
     std::vector<tmu::Tmu*> tmus;
-    for (const GuardDesc& g : d.guards) {
-      tmu::Tmu& t = *guard_tmu.at(g.name);
+    for (const GuardDesc* g : guard_order) {
+      tmu::Tmu& t = *guard_tmu.at(g->name);
       plic.add_source(t.irq);
       tmus.push_back(&t);
     }

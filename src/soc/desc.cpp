@@ -1,12 +1,14 @@
-// SocDesc JSON round-trip (schema tmu-soc-desc-v1) and topology hash.
+// SocDesc JSON round-trip (schema tmu-soc-desc-v2) and topology hash.
 //
 // The emitter writes every field in a fixed order, so the document is
 // canonical: equal descs serialize byte-identically and hash() — FNV-1a
-// over the document — is a stable cross-process topology fingerprint.
-// The parser is a dependency-free recursive-descent JSON reader; it
-// rejects unknown keys (typos in hand-written topologies should fail
-// loudly, not silently fall back to defaults) and reports the offending
-// key in every error.
+// over the document — is a stable cross-process topology fingerprint
+// covering the whole cluster tree. The parser is a dependency-free
+// recursive-descent JSON reader; it rejects unknown keys (typos in
+// hand-written topologies should fail loudly, not silently fall back to
+// defaults) and reports the offending key in every error. Legacy v1
+// documents (flat, no bridges/banks) parse unchanged: the keys v2 added
+// are optional with flat defaults.
 
 #include "soc/desc.hpp"
 
@@ -140,6 +142,25 @@ void emit_mem(Emitter& e, const char* k, const axi::MemoryConfig& m) {
   e.u64("max_outstanding", m.max_outstanding);
   e.u64("error_base", m.error_base);
   e.u64("error_end", m.error_end);
+  e.open_obj("bank");
+  e.boolean("enabled", m.bank.enabled);
+  e.u64("num_banks", m.bank.num_banks);
+  e.u64("col_bits", m.bank.col_bits);
+  e.boolean("open_page", m.bank.open_page);
+  e.u64("t_hit", m.bank.t_hit);
+  e.u64("t_miss", m.bank.t_miss);
+  e.u64("t_conflict", m.bank.t_conflict);
+  e.close_obj();
+  e.close_obj();
+}
+
+void emit_bridge(Emitter& e, const char* k, const axi::BridgeConfig& b) {
+  e.open_obj(k);
+  e.u64("req_latency", b.req_latency);
+  e.u64("rsp_latency", b.rsp_latency);
+  e.boolean("id_remap", b.id_remap);
+  e.u64("max_ids", b.max_ids);
+  e.u64("fifo_depth", b.fifo_depth);
   e.close_obj();
 }
 
@@ -185,6 +206,54 @@ void emit_tmu(Emitter& e, const char* k, const tmu::TmuConfig& c) {
   e.u64("max_txn_cycles", c.max_txn_cycles);
   e.u64("fault_log_depth", c.fault_log_depth);
   e.u64("perf_log_depth", c.perf_log_depth);
+  e.close_obj();
+}
+
+void emit_guard(Emitter& e, const GuardDesc& g) {
+  e.open_obj();
+  e.str("name", g.name);
+  e.str("subordinate", g.subordinate);
+  emit_tmu(e, "cfg", g.cfg);
+  e.str("mgr_injector", g.mgr_injector);
+  e.str("sub_injector", g.sub_injector);
+  e.str("reset_unit", g.reset_unit);
+  e.u64("reset_duration", g.reset_duration);
+  e.close_obj();
+}
+
+void emit_sub(Emitter& e, const SubordinateDesc& s);
+
+void emit_cluster(Emitter& e, const ClusterDesc& c) {
+  e.open_obj();
+  e.str("xbar_name", c.xbar_name);
+  e.u64("id_shift", c.id_shift);
+  emit_bridge(e, "bridge", c.bridge);
+  e.open_arr("subordinates");
+  for (const SubordinateDesc& s : c.subordinates) emit_sub(e, s);
+  e.close_arr();
+  e.open_arr("guards");
+  for (const GuardDesc& g : c.guards) emit_guard(e, g);
+  e.close_arr();
+  e.close_obj();
+}
+
+void emit_sub(Emitter& e, const SubordinateDesc& s) {
+  e.open_obj();
+  e.str("name", s.name);
+  e.str("kind", to_string(s.kind));
+  e.u64("base", s.base);
+  e.u64("size", s.size);
+  emit_mem(e, "mem", s.mem);
+  emit_eth(e, "eth", s.eth);
+  e.boolean("llc", s.llc);
+  e.open_obj("llc_cfg");
+  e.u64("num_lines", s.llc_cfg.num_lines);
+  e.u64("hit_latency", s.llc_cfg.hit_latency);
+  e.close_obj();
+  e.str("llc_name", s.llc_name);
+  e.open_arr("cluster");
+  for (const ClusterDesc& c : s.cluster) emit_cluster(e, c);
+  e.close_arr();
   e.close_obj();
 }
 
@@ -467,6 +536,28 @@ void parse_mem(const Json& v, const std::string& where, axi::MemoryConfig& m) {
   r.get_u("max_outstanding", m.max_outstanding);
   r.get_u("error_base", m.error_base);
   r.get_u("error_end", m.error_end);
+  if (const Json* b = r.take("bank")) {
+    ObjReader rb(*b, where + ".bank");
+    rb.get("enabled", m.bank.enabled);
+    rb.get_u("num_banks", m.bank.num_banks);
+    rb.get_u("col_bits", m.bank.col_bits);
+    rb.get("open_page", m.bank.open_page);
+    rb.get_u("t_hit", m.bank.t_hit);
+    rb.get_u("t_miss", m.bank.t_miss);
+    rb.get_u("t_conflict", m.bank.t_conflict);
+    rb.finish();
+  }
+  r.finish();
+}
+
+void parse_bridge(const Json& v, const std::string& where,
+                  axi::BridgeConfig& b) {
+  ObjReader r(v, where);
+  r.get_u("req_latency", b.req_latency);
+  r.get_u("rsp_latency", b.rsp_latency);
+  r.get("id_remap", b.id_remap);
+  r.get_u("max_ids", b.max_ids);
+  r.get_u("fifo_depth", b.fifo_depth);
   r.finish();
 }
 
@@ -527,6 +618,88 @@ void parse_tmu(const Json& v, const std::string& where, tmu::TmuConfig& c) {
   r.finish();
 }
 
+GuardDesc parse_guard(const Json& v, const std::string& where) {
+  GuardDesc g;
+  ObjReader rg(v, where);
+  rg.get("name", g.name);
+  rg.get("subordinate", g.subordinate);
+  if (const Json* c = rg.take("cfg")) parse_tmu(*c, where + ".cfg", g.cfg);
+  rg.get("mgr_injector", g.mgr_injector);
+  rg.get("sub_injector", g.sub_injector);
+  rg.get("reset_unit", g.reset_unit);
+  rg.get_u("reset_duration", g.reset_duration);
+  rg.finish();
+  return g;
+}
+
+SubordinateDesc parse_sub(const Json& v, const std::string& where);
+
+ClusterDesc parse_cluster(const Json& v, const std::string& where) {
+  ClusterDesc c;
+  ObjReader r(v, where);
+  r.get("xbar_name", c.xbar_name);
+  r.get_u("id_shift", c.id_shift);
+  if (const Json* b = r.take("bridge")) {
+    parse_bridge(*b, where + ".bridge", c.bridge);
+  }
+  if (const Json* arr = r.take("subordinates")) {
+    if (arr->kind != Json::Kind::kArray) {
+      fail(where + ".subordinates must be an array");
+    }
+    for (std::size_t i = 0; i < arr->arr.size(); ++i) {
+      c.subordinates.push_back(parse_sub(
+          arr->arr[i], where + ".subordinates[" + std::to_string(i) + "]"));
+    }
+  }
+  if (const Json* arr = r.take("guards")) {
+    if (arr->kind != Json::Kind::kArray) fail(where + ".guards must be an array");
+    for (std::size_t i = 0; i < arr->arr.size(); ++i) {
+      c.guards.push_back(parse_guard(
+          arr->arr[i], where + ".guards[" + std::to_string(i) + "]"));
+    }
+  }
+  r.finish();
+  return c;
+}
+
+SubordinateDesc parse_sub(const Json& v, const std::string& where) {
+  SubordinateDesc s;
+  ObjReader rs(v, where);
+  rs.get("name", s.name);
+  std::string kind = to_string(s.kind);
+  rs.get("kind", kind);
+  if (kind == "memory") {
+    s.kind = SubordinateKind::kMemory;
+  } else if (kind == "ethernet") {
+    s.kind = SubordinateKind::kEthernet;
+  } else if (kind == "cluster") {
+    s.kind = SubordinateKind::kCluster;
+  } else {
+    fail(where + ".kind: unknown subordinate kind \"" + kind + "\"");
+  }
+  rs.get_u("base", s.base);
+  rs.get_u("size", s.size);
+  if (const Json* m = rs.take("mem")) parse_mem(*m, where + ".mem", s.mem);
+  if (const Json* c = rs.take("eth")) parse_eth(*c, where + ".eth", s.eth);
+  rs.get("llc", s.llc);
+  if (const Json* l = rs.take("llc_cfg")) {
+    ObjReader rl(*l, where + ".llc_cfg");
+    rl.get_u("num_lines", s.llc_cfg.num_lines);
+    rl.get_u("hit_latency", s.llc_cfg.hit_latency);
+    rl.finish();
+  }
+  rs.get("llc_name", s.llc_name);
+  if (const Json* arr = rs.take("cluster")) {
+    if (arr->kind != Json::Kind::kArray) fail(where + ".cluster must be an array");
+    for (std::size_t i = 0; i < arr->arr.size(); ++i) {
+      s.cluster.push_back(parse_cluster(
+          arr->arr[i], where + ".cluster[" + std::to_string(i) + "]"));
+    }
+  }
+  rs.finish();
+  return s;
+}
+
 }  // namespace
 
 std::string SocDesc::to_json() const {
@@ -552,35 +725,10 @@ std::string SocDesc::to_json() const {
   }
   e.close_arr();
   e.open_arr("subordinates");
-  for (const SubordinateDesc& s : subordinates) {
-    e.open_obj();
-    e.str("name", s.name);
-    e.str("kind", to_string(s.kind));
-    e.u64("base", s.base);
-    e.u64("size", s.size);
-    emit_mem(e, "mem", s.mem);
-    emit_eth(e, "eth", s.eth);
-    e.boolean("llc", s.llc);
-    e.open_obj("llc_cfg");
-    e.u64("num_lines", s.llc_cfg.num_lines);
-    e.u64("hit_latency", s.llc_cfg.hit_latency);
-    e.close_obj();
-    e.str("llc_name", s.llc_name);
-    e.close_obj();
-  }
+  for (const SubordinateDesc& s : subordinates) emit_sub(e, s);
   e.close_arr();
   e.open_arr("guards");
-  for (const GuardDesc& g : guards) {
-    e.open_obj();
-    e.str("name", g.name);
-    e.str("subordinate", g.subordinate);
-    emit_tmu(e, "cfg", g.cfg);
-    e.str("mgr_injector", g.mgr_injector);
-    e.str("sub_injector", g.sub_injector);
-    e.str("reset_unit", g.reset_unit);
-    e.u64("reset_duration", g.reset_duration);
-    e.close_obj();
-  }
+  for (const GuardDesc& g : guards) emit_guard(e, g);
   e.close_arr();
   e.open_obj("recovery");
   e.boolean("enabled", recovery.enabled);
@@ -601,9 +749,10 @@ SocDesc SocDesc::from_json(const std::string& json) {
 
   std::string schema;
   r.get("schema", schema);
-  if (schema != kSocDescSchema) {
+  if (schema != kSocDescSchema && schema != kSocDescSchemaV1) {
     fail("schema mismatch: expected \"" + std::string(kSocDescSchema) +
-         "\", got \"" + schema + "\"");
+         "\" (or legacy \"" + kSocDescSchemaV1 + "\"), got \"" + schema +
+         "\"");
   }
   r.get("name", d.name);
   r.get("crossbar", d.crossbar);
@@ -660,51 +809,16 @@ SocDesc SocDesc::from_json(const std::string& json) {
       fail("desc.subordinates must be an array");
     }
     for (std::size_t i = 0; i < arr->arr.size(); ++i) {
-      const std::string where = "desc.subordinates[" + std::to_string(i) + "]";
-      SubordinateDesc s;
-      ObjReader rs(arr->arr[i], where);
-      rs.get("name", s.name);
-      std::string kind = to_string(s.kind);
-      rs.get("kind", kind);
-      if (kind == "memory") {
-        s.kind = SubordinateKind::kMemory;
-      } else if (kind == "ethernet") {
-        s.kind = SubordinateKind::kEthernet;
-      } else {
-        fail(where + ".kind: unknown subordinate kind \"" + kind + "\"");
-      }
-      rs.get_u("base", s.base);
-      rs.get_u("size", s.size);
-      if (const Json* m = rs.take("mem")) parse_mem(*m, where + ".mem", s.mem);
-      if (const Json* c = rs.take("eth")) parse_eth(*c, where + ".eth", s.eth);
-      rs.get("llc", s.llc);
-      if (const Json* l = rs.take("llc_cfg")) {
-        ObjReader rl(*l, where + ".llc_cfg");
-        rl.get_u("num_lines", s.llc_cfg.num_lines);
-        rl.get_u("hit_latency", s.llc_cfg.hit_latency);
-        rl.finish();
-      }
-      rs.get("llc_name", s.llc_name);
-      rs.finish();
-      d.subordinates.push_back(std::move(s));
+      d.subordinates.push_back(parse_sub(
+          arr->arr[i], "desc.subordinates[" + std::to_string(i) + "]"));
     }
   }
 
   if (const Json* arr = r.take("guards")) {
     if (arr->kind != Json::Kind::kArray) fail("desc.guards must be an array");
     for (std::size_t i = 0; i < arr->arr.size(); ++i) {
-      const std::string where = "desc.guards[" + std::to_string(i) + "]";
-      GuardDesc g;
-      ObjReader rg(arr->arr[i], where);
-      rg.get("name", g.name);
-      rg.get("subordinate", g.subordinate);
-      if (const Json* c = rg.take("cfg")) parse_tmu(*c, where + ".cfg", g.cfg);
-      rg.get("mgr_injector", g.mgr_injector);
-      rg.get("sub_injector", g.sub_injector);
-      rg.get("reset_unit", g.reset_unit);
-      rg.get_u("reset_duration", g.reset_duration);
-      rg.finish();
-      d.guards.push_back(std::move(g));
+      d.guards.push_back(
+          parse_guard(arr->arr[i], "desc.guards[" + std::to_string(i) + "]"));
     }
   }
 
@@ -719,6 +833,40 @@ SocDesc SocDesc::from_json(const std::string& json) {
 
   r.finish();
   return d;
+}
+
+namespace {
+
+// Shared const/mutable DFS: Subs is (const) std::vector<SubordinateDesc>.
+template <typename Subs, typename F>
+void visit_cluster_guards(Subs& subs, F&& f) {
+  for (auto& s : subs) {
+    for (auto& c : s.cluster) {
+      for (auto& g : c.guards) f(g);
+      visit_cluster_guards(c.subordinates, f);
+    }
+  }
+}
+
+}  // namespace
+
+void visit_guards(const SocDesc& d,
+                  const std::function<void(const GuardDesc&)>& f) {
+  for (const GuardDesc& g : d.guards) f(g);
+  visit_cluster_guards(d.subordinates, f);
+}
+
+void visit_guards(SocDesc& d, const std::function<void(GuardDesc&)>& f) {
+  for (GuardDesc& g : d.guards) f(g);
+  visit_cluster_guards(d.subordinates, f);
+}
+
+GuardDesc* first_guard(SocDesc& d) {
+  GuardDesc* first = nullptr;
+  visit_guards(d, [&](GuardDesc& g) {
+    if (first == nullptr) first = &g;
+  });
+  return first;
 }
 
 std::uint64_t SocDesc::hash() const {

@@ -1,9 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "axi/bridge.hpp"
 #include "axi/crossbar.hpp"
 #include "axi/memory.hpp"
 #include "axi/traffic_gen.hpp"
@@ -14,9 +16,11 @@
 
 namespace soc {
 
-/// JSON schema tag written by SocDesc::to_json and required by
-/// SocDesc::from_json.
-inline constexpr const char* kSocDescSchema = "tmu-soc-desc-v1";
+/// JSON schema tag written by SocDesc::to_json. from_json accepts this
+/// and the v1 tag below (v1 documents predate nested clusters and bank
+/// timing; their missing keys take the field defaults, i.e. flat + off).
+inline constexpr const char* kSocDescSchema = "tmu-soc-desc-v2";
+inline constexpr const char* kSocDescSchemaV1 = "tmu-soc-desc-v1";
 
 /// What kind of AXI manager a ManagerDesc elaborates to.
 enum class ManagerKind : std::uint8_t {
@@ -28,13 +32,19 @@ enum class ManagerKind : std::uint8_t {
 enum class SubordinateKind : std::uint8_t {
   kMemory,    ///< axi::MemorySubordinate
   kEthernet,  ///< soc::EthernetPeripheral
+  kCluster,   ///< axi::Bridge into a nested interconnect (ClusterDesc)
 };
 
 inline const char* to_string(ManagerKind k) {
   return k == ManagerKind::kTrafficGen ? "traffic_gen" : "dma_engine";
 }
 inline const char* to_string(SubordinateKind k) {
-  return k == SubordinateKind::kMemory ? "memory" : "ethernet";
+  switch (k) {
+    case SubordinateKind::kMemory: return "memory";
+    case SubordinateKind::kEthernet: return "ethernet";
+    case SubordinateKind::kCluster: return "cluster";
+  }
+  return "memory";
 }
 
 /// One AXI manager port of the SoC. Managers keep their declaration
@@ -57,10 +67,18 @@ struct ManagerDesc {
   bool operator==(const ManagerDesc&) const = default;
 };
 
+struct ClusterDesc;
+
 /// One subordinate endpoint and its address window. Declaration order is
 /// the crossbar subordinate-port order. The optional LLC sits between
 /// the crossbar (or the guard chain, if the endpoint is guarded) and the
 /// endpoint itself.
+///
+/// A kCluster subordinate is not a leaf: its endpoint is an axi::Bridge
+/// named after this desc, leading into the nested interconnect described
+/// by cluster.front() (the vector holds exactly one element for kCluster
+/// and none otherwise — a vector only because the type is recursive).
+/// A guard on a kCluster subordinate guards the bridge itself.
 struct SubordinateDesc {
   std::string name;
   SubordinateKind kind = SubordinateKind::kMemory;
@@ -75,6 +93,8 @@ struct SubordinateDesc {
   bool llc = false;  ///< insert a LastLevelCache in front of the endpoint
   LlcConfig llc_cfg{};
   std::string llc_name;  ///< empty = "<name>.llc"
+
+  std::vector<ClusterDesc> cluster;  ///< kCluster payload (exactly one)
 
   bool operator==(const SubordinateDesc&) const = default;
 };
@@ -98,6 +118,30 @@ struct GuardDesc {
   std::uint32_t reset_duration = 4;
 
   bool operator==(const GuardDesc&) const = default;
+};
+
+/// A nested interconnect behind an axi::Bridge: the bridge's manager
+/// port is the cluster crossbar's single manager-from-above view, the
+/// subordinates (with their own sub-windows, guards, LLCs — or further
+/// clusters) hang off it. Sub-windows are absolute addresses and must
+/// tile inside the owning subordinate's [base, base + size) window;
+/// requests landing in a hole terminate with DECERR at the cluster
+/// crossbar, never stalling the parent level. The crossbar impl and
+/// sched policy are inherited from the root SocDesc.
+struct ClusterDesc {
+  std::string xbar_name;  ///< empty = "<subordinate>.xbar"
+
+  /// ID-prefix shift of the cluster crossbar. Without bridge ID-remap,
+  /// IDs arriving from above still carry every outer level's manager
+  /// prefix, so this must be at least the parent level's outgoing ID
+  /// width (validated); with remap, ceil(log2(bridge.max_ids)) suffices.
+  unsigned id_shift = 8;
+
+  axi::BridgeConfig bridge{};
+  std::vector<SubordinateDesc> subordinates;
+  std::vector<GuardDesc> guards;  ///< guards on this level's subordinates
+
+  bool operator==(const ClusterDesc&) const = default;
 };
 
 /// The software side of the recovery loop: a PLIC-lite collecting every
@@ -139,19 +183,36 @@ struct SocDesc {
 
   bool operator==(const SocDesc&) const = default;
 
-  /// Canonical JSON (schema tmu-soc-desc-v1): fixed field order, every
-  /// field emitted, so equal descs serialize identically.
+  /// Canonical JSON (schema tmu-soc-desc-v2): fixed field order, every
+  /// field emitted — including nested clusters — so equal descs
+  /// serialize identically.
   std::string to_json() const;
 
   /// Parses a to_json() document (unknown keys rejected, missing keys
-  /// take the field defaults). Throws std::invalid_argument with the
-  /// offending key/position on malformed input or a schema mismatch.
+  /// take the field defaults). Accepts schema v2 and legacy v1
+  /// documents (re-emitting upgrades them to v2). Throws
+  /// std::invalid_argument with the offending key/position on malformed
+  /// input or a schema mismatch.
   static SocDesc from_json(const std::string& json);
 
   /// Stable topology fingerprint: FNV-1a 64 over the canonical JSON.
   /// Equal descs hash equal across processes and machines, which is what
-  /// campaign reports record per scenario.
+  /// campaign reports record per scenario. Covers the whole tree —
+  /// any nested cluster/bridge/bank field change changes the hash.
   std::uint64_t hash() const;
 };
+
+/// Visits every guard in the tree in canonical elaboration order: a
+/// level's guards in declaration order, then each subordinate's cluster
+/// depth-first (subordinate declaration order), root level first. The
+/// root PLIC collects irq sources in exactly this order. For a flat
+/// desc this is simply the root guard list.
+void visit_guards(const SocDesc& d,
+                  const std::function<void(const GuardDesc&)>& f);
+void visit_guards(SocDesc& d, const std::function<void(GuardDesc&)>& f);
+
+/// The first guard in visit_guards order, or nullptr (what a fault
+/// trial monitors by default).
+GuardDesc* first_guard(SocDesc& d);
 
 }  // namespace soc

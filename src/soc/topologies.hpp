@@ -33,4 +33,37 @@ SocDesc ip_testbench_desc(const tmu::TmuConfig& cfg = {});
 /// the scheduler policy / crossbar impl on the returned desc.
 SocDesc grid_desc(unsigned n_mgr, unsigned n_sub, unsigned active);
 
+/// Where the Ethernet-guarding TMU of hierarchical_desc() sits. The
+/// flat cheshire_desc() is the third point of the placement sweep: its
+/// guard hangs directly off the root crossbar.
+enum class HierGuardSite {
+  kBridge,  ///< one guard at root level, in front of the io cluster's
+            ///< bridge: coarse, sees all cluster traffic, its reset
+            ///< unit resets the bridge (severing the whole cluster)
+  kLeaf,    ///< guards inside the cluster, directly in front of the
+            ///< Ethernet IP and the peripheral (the flat layout pushed
+            ///< one level down)
+};
+
+/// The cluster-behind-bridge Cheshire variant ("cheshire_hier"): the
+/// same four managers, the banked DRAM (+LLC) at root level, and an
+/// "io_cluster" — Ethernet IP and generic peripheral behind a
+/// latency-1, ID-remapping axi::Bridge and a nested crossbar. The
+/// cluster window spans both endpoints plus the hole between their
+/// windows (requests into the hole DECERR at the cluster crossbar).
+/// `site` picks the TMU placement for the guard-placement fault sweep;
+/// the leaf variant keeps the flat desc's guard/injector names
+/// ("tmu"/"inj_m"/"inj_s"...), so fault campaigns can reuse specs.
+SocDesc hierarchical_desc(const tmu::TmuConfig& tmu_cfg,
+                          HierGuardSite site = HierGuardSite::kLeaf,
+                          const EthernetConfig& eth_cfg = {});
+
+/// Two-level scaling grid: n_mgr generators into a root crossbar over
+/// n_cluster clusters of per_cluster memories each (ID-remapping
+/// latency-1 bridges, nested crossbars). Window layout matches
+/// grid_desc(n_mgr, n_cluster * per_cluster, active), so the same
+/// traffic config drives both shapes in the hierarchy bench dimension.
+SocDesc hier_grid_desc(unsigned n_mgr, unsigned n_cluster,
+                       unsigned per_cluster, unsigned active);
+
 }  // namespace soc

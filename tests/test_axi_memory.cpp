@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "axi/addr.hpp"
 #include "axi/link.hpp"
 #include "axi/memory.hpp"
 #include "axi/scoreboard.hpp"
@@ -197,5 +200,138 @@ TEST_P(BurstLenSweep, WriteReadRoundTrip) {
 INSTANTIATE_TEST_SUITE_P(Lens, BurstLenSweep,
                          ::testing::Values(0, 1, 2, 3, 7, 15, 31, 63, 127,
                                            255));
+
+// ------------------------------------------------------------------
+// DRAM bank timing (BankTimingConfig): row-buffer hits, misses and
+// conflicts classified per bank, with the extra latency charged once
+// per burst at its start address.
+// ------------------------------------------------------------------
+
+/// Address mapping helpers (Sniper-style row interleaving).
+TEST(MemBankTiming, AddressMapping) {
+  // col_bits = 6, 4 banks: bank = (a >> 6) & 3, row = a >> 8.
+  EXPECT_EQ(dram_bank(0x000, 6, 4), 0u);
+  EXPECT_EQ(dram_bank(0x040, 6, 4), 1u);
+  EXPECT_EQ(dram_bank(0x0C0, 6, 4), 3u);
+  EXPECT_EQ(dram_bank(0x100, 6, 4), 0u);  // wraps to bank 0, next row
+  EXPECT_EQ(dram_row(0x000, 6, 4), 0u);
+  EXPECT_EQ(dram_row(0x100, 6, 4), 1u);
+  EXPECT_EQ(dram_row(0x2340, 6, 4), 0x23u);
+}
+
+struct BankedMemFixture : ::testing::Test {
+  Link link;
+  TrafficGenerator gen{"gen", link};
+  MemoryConfig cfg = [] {
+    MemoryConfig c;
+    c.bank.enabled = true;
+    c.bank.num_banks = 4;
+    c.bank.col_bits = 6;
+    c.bank.t_hit = 0;
+    c.bank.t_miss = 6;
+    c.bank.t_conflict = 12;
+    return c;
+  }();
+
+  std::unique_ptr<MemorySubordinate> mem;
+  sim::Simulator s;
+
+  void wire(bool open_page) {
+    cfg.bank.open_page = open_page;
+    mem = std::make_unique<MemorySubordinate>("mem", link, cfg);
+    s.add(gen);
+    s.add(*mem);
+    s.reset();
+  }
+
+  /// Read latency (accept -> complete) of a fresh single-beat read.
+  std::uint64_t read_latency(Addr a) {
+    const std::size_t n = gen.completed();
+    gen.push(TxnDesc{false, 0, a, 0, 3, Burst::kIncr});
+    EXPECT_TRUE(s.run_until([&] { return gen.completed() > n; }, 500));
+    const TxnRecord& r = gen.records().back();
+    return r.complete_cycle - r.accept_cycle;
+  }
+};
+
+TEST_F(BankedMemFixture, OpenPageHitsMissesAndConflicts) {
+  wire(/*open_page=*/true);
+  const std::uint64_t miss = read_latency(0x000);  // bank 0 row 0: idle
+  const std::uint64_t hit = read_latency(0x008);   // same row: open hit
+  const std::uint64_t conflict = read_latency(0x100);  // bank 0 row 1
+  EXPECT_EQ(mem->row_misses(), 1u);
+  EXPECT_EQ(mem->row_hits(), 1u);
+  EXPECT_EQ(mem->row_conflicts(), 1u);
+  EXPECT_EQ(miss - hit, cfg.bank.t_miss - cfg.bank.t_hit);
+  EXPECT_EQ(conflict - hit, cfg.bank.t_conflict - cfg.bank.t_hit);
+  // Distinct banks keep their own open rows.
+  read_latency(0x040);  // bank 1: miss
+  read_latency(0x048);  // bank 1: hit
+  read_latency(0x108);  // bank 0 row 1 still open: hit
+  EXPECT_EQ(mem->row_misses(), 2u);
+  EXPECT_EQ(mem->row_hits(), 3u);
+  EXPECT_EQ(mem->row_conflicts(), 1u);
+}
+
+TEST_F(BankedMemFixture, ClosedPagePrechargesAfterEveryAccess) {
+  wire(/*open_page=*/false);
+  read_latency(0x000);
+  read_latency(0x008);  // same row, but the page was closed: miss again
+  read_latency(0x100);  // other row, bank idle: miss, not conflict
+  EXPECT_EQ(mem->row_misses(), 3u);
+  EXPECT_EQ(mem->row_hits(), 0u);
+  EXPECT_EQ(mem->row_conflicts(), 0u);
+}
+
+TEST_F(BankedMemFixture, WritesUpdateTheRowBufferToo) {
+  wire(/*open_page=*/true);
+  const std::size_t n = gen.completed();
+  gen.push(TxnDesc{true, 1, 0x200, 3, 3, Burst::kIncr});  // bank 0 row 2
+  ASSERT_TRUE(s.run_until([&] { return gen.completed() > n; }, 500));
+  EXPECT_EQ(mem->row_misses(), 1u);
+  read_latency(0x208);  // the write left row 2 open
+  EXPECT_EQ(mem->row_hits(), 1u);
+}
+
+TEST_F(BankedMemFixture, HwResetPrechargesAllRows) {
+  wire(/*open_page=*/true);
+  read_latency(0x000);
+  EXPECT_EQ(mem->row_misses(), 1u);
+  mem->hw_reset();
+  s.run(2);
+  read_latency(0x008);  // would be a hit, but the reset closed the row
+  EXPECT_EQ(mem->row_misses(), 2u);
+  EXPECT_EQ(mem->row_hits(), 0u);
+}
+
+TEST(MemBankTiming, DisabledBankTimingKeepsLegacyLatency) {
+  Link la, lb;
+  TrafficGenerator ga{"ga", la}, gb{"gb", lb};
+  MemorySubordinate plain("plain", la);
+  MemoryConfig banked_cfg;
+  banked_cfg.bank.enabled = true;
+  banked_cfg.bank.t_hit = 0;
+  MemorySubordinate banked("banked", lb, banked_cfg);
+  sim::Simulator sa, sb_;
+  sa.add(ga);
+  sa.add(plain);
+  sa.reset();
+  sb_.add(gb);
+  sb_.add(banked);
+  sb_.reset();
+  // An open-page hit with t_hit = 0 costs exactly the legacy latency.
+  // (Isolated accesses: a queued back-to-back read would inherit the
+  // first access's row-activation stall through R-channel ordering.)
+  ga.push(TxnDesc{false, 0, 0x100, 0, 3, Burst::kIncr});
+  gb.push(TxnDesc{false, 0, 0x100, 0, 3, Burst::kIncr});
+  ASSERT_TRUE(sa.run_until([&] { return ga.completed() >= 1; }, 500));
+  ASSERT_TRUE(sb_.run_until([&] { return gb.completed() >= 1; }, 500));
+  ga.push(TxnDesc{false, 0, 0x108, 0, 3, Burst::kIncr});
+  gb.push(TxnDesc{false, 0, 0x108, 0, 3, Burst::kIncr});
+  ASSERT_TRUE(sa.run_until([&] { return ga.completed() >= 2; }, 500));
+  ASSERT_TRUE(sb_.run_until([&] { return gb.completed() >= 2; }, 500));
+  EXPECT_EQ(ga.records()[1].complete_cycle - ga.records()[1].accept_cycle,
+            gb.records()[1].complete_cycle - gb.records()[1].accept_cycle);
+}
 
 }  // namespace

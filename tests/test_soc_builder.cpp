@@ -144,6 +144,146 @@ TEST(SocBuilderValidation, RecoveryWithNothingToService) {
   expect_invalid(d, "no guards to service");
 }
 
+// ------------------------------------------------------------------
+// Nested (cluster) validation.
+// ------------------------------------------------------------------
+
+/// base_desc with mem1 swapped for a cluster of two leaves covering the
+/// same window.
+SocDesc nested_desc() {
+  SocDesc d = base_desc();
+  SubordinateDesc& cl = d.subordinates[1];
+  cl.name = "cl";
+  cl.kind = soc::SubordinateKind::kCluster;
+  cl.base = 0x1000;
+  cl.size = 0x1000;
+  soc::ClusterDesc c;
+  c.id_shift = 10;
+  SubordinateDesc leaf0;
+  leaf0.name = "leaf0";
+  leaf0.base = 0x1000;
+  leaf0.size = 0x800;
+  SubordinateDesc leaf1;
+  leaf1.name = "leaf1";
+  leaf1.base = 0x1800;
+  leaf1.size = 0x800;
+  c.subordinates = {leaf0, leaf1};
+  cl.cluster = {c};
+  return d;
+}
+
+TEST(SocBuilderValidation, AcceptsTheHierarchicalTopologies) {
+  EXPECT_NO_THROW(SocBuilder::validate(nested_desc()));
+  EXPECT_NO_THROW(SocBuilder::validate(soc::hierarchical_desc({})));
+  EXPECT_NO_THROW(SocBuilder::validate(
+      soc::hierarchical_desc({}, soc::HierGuardSite::kBridge)));
+  EXPECT_NO_THROW(SocBuilder::validate(soc::hier_grid_desc(4, 2, 3, 1)));
+}
+
+TEST(SocBuilderValidation, ClusterKindAndPayloadMustAgree) {
+  SocDesc d = nested_desc();
+  d.subordinates[1].cluster.clear();
+  expect_invalid(d, "'cl' is a cluster but carries no ClusterDesc payload");
+
+  SocDesc d2 = nested_desc();
+  d2.subordinates[1].kind = soc::SubordinateKind::kMemory;
+  expect_invalid(d2, "'cl' carries a cluster payload but is not of kind "
+                     "cluster");
+
+  SocDesc d3 = nested_desc();
+  d3.subordinates[1].cluster[0].subordinates.clear();
+  expect_invalid(d3, "cluster 'cl' declares no subordinates");
+}
+
+TEST(SocBuilderValidation, SubWindowsMustTileInsideTheClusterWindow) {
+  SocDesc d = nested_desc();
+  d.subordinates[1].cluster[0].subordinates[1].size = 0x1000;  // past end
+  expect_invalid(d, "'leaf1' address window does not fit inside its "
+                    "cluster's window");
+
+  SocDesc d2 = nested_desc();
+  d2.subordinates[1].cluster[0].subordinates[1].base = 0x1400;  // overlap
+  expect_invalid(d2, "address windows of 'leaf0' and 'leaf1' overlap");
+}
+
+TEST(SocBuilderValidation, DuplicateNamesAreCaughtTreeWide) {
+  SocDesc d = nested_desc();
+  d.subordinates[1].cluster[0].subordinates[0].name = "mem0";  // vs root
+  expect_invalid(d, "duplicate block name 'mem0'");
+
+  SocDesc d2 = nested_desc();
+  d2.subordinates[1].cluster[0].xbar_name = "gen";  // vs a manager
+  expect_invalid(d2, "duplicate block name 'gen'");
+}
+
+TEST(SocBuilderValidation, GuardsBindToTheirOwnLevel) {
+  // A root guard cannot reach inside a cluster...
+  SocDesc d = nested_desc();
+  GuardDesc g;
+  g.name = "tmu";
+  g.subordinate = "leaf0";
+  d.guards = {g};
+  expect_invalid(d, "guard 'tmu' references unknown subordinate 'leaf0'");
+
+  // ...but may guard the cluster itself (i.e. the bridge), and cluster
+  // guards bind to the nested level's subordinates.
+  SocDesc d2 = nested_desc();
+  GuardDesc on_bridge = g;
+  on_bridge.subordinate = "cl";
+  d2.guards = {on_bridge};
+  GuardDesc inner;
+  inner.name = "leaf_tmu";
+  inner.subordinate = "leaf1";
+  d2.subordinates[1].cluster[0].guards = {inner};
+  EXPECT_NO_THROW(SocBuilder::validate(d2));
+}
+
+TEST(SocBuilderValidation, BridgeConfigConsistency) {
+  SocDesc d = nested_desc();
+  d.subordinates[1].cluster[0].bridge.req_latency = 0;  // rsp stays 1
+  expect_invalid(d, "cluster 'cl' bridge mixes zero and non-zero");
+
+  SocDesc d2 = nested_desc();
+  d2.subordinates[1].cluster[0].bridge.req_latency = 0;
+  d2.subordinates[1].cluster[0].bridge.rsp_latency = 0;
+  d2.subordinates[1].cluster[0].bridge.id_remap = true;
+  expect_invalid(d2, "cluster 'cl' bridge cannot remap IDs at latency 0");
+
+  SocDesc d3 = nested_desc();
+  d3.subordinates[1].cluster[0].bridge.id_remap = true;
+  d3.subordinates[1].cluster[0].bridge.max_ids = 0;
+  expect_invalid(d3, "cluster 'cl' bridge remaps IDs with max_ids 0");
+
+  SocDesc d4 = nested_desc();
+  d4.subordinates[1].cluster[0].bridge.fifo_depth = 0;
+  expect_invalid(d4, "cluster 'cl' bridge has fifo_depth 0");
+}
+
+TEST(SocBuilderValidation, NestedIdShiftMustClearIncomingIdWidth) {
+  // Root emits id_shift(8) + 0 manager bits = 8-bit IDs; a 6-bit nested
+  // shift would corrupt response de-prefixing.
+  SocDesc d = nested_desc();
+  d.subordinates[1].cluster[0].id_shift = 6;
+  expect_invalid(d, "cluster 'cl' id_shift 6 is narrower than the 8 ID "
+                    "bits entering the cluster");
+
+  // Bridge ID-remap compacts to bits_for(max_ids - 1), making it legal.
+  SocDesc d2 = nested_desc();
+  d2.subordinates[1].cluster[0].id_shift = 6;
+  d2.subordinates[1].cluster[0].bridge.id_remap = true;
+  d2.subordinates[1].cluster[0].bridge.max_ids = 16;
+  EXPECT_NO_THROW(SocBuilder::validate(d2));
+}
+
+TEST(SocBuilderValidation, BankTimingMustBePowerOfTwoBanks) {
+  SocDesc d = base_desc();
+  d.subordinates[0].mem.bank.enabled = true;
+  d.subordinates[0].mem.bank.num_banks = 6;
+  expect_invalid(d, "'mem0' bank.num_banks 6 is not a power of two");
+  d.subordinates[0].mem.bank.num_banks = 8;
+  EXPECT_NO_THROW(SocBuilder::validate(d));
+}
+
 TEST(SocBuilderLookup, TypedGetNamesTheCulprit) {
   const auto soc = SocBuilder::build(soc::ip_testbench_desc());
   EXPECT_NO_THROW(soc->get<tmu::Tmu>("tmu"));
