@@ -12,8 +12,8 @@
 #include <vector>
 
 #include "baseline/axichecker.hpp"
-#include "baseline/perf_monitor.hpp"
 #include "baseline/xilinx_timeout.hpp"
+#include "obs/latency_probe.hpp"
 #include "bench_util.hpp"
 #include "sim/logger.hpp"
 
@@ -111,7 +111,8 @@ Row measure_watchdog() {
 Row measure_perfmon(const char* name) {
   Row r{.name = name};
   ScenarioHarness h;
-  baseline::AxiPerfMonitor pm("pm", h.up);
+  obs::MetricsRegistry reg;
+  obs::LatencyProbe pm("pm", h.up, reg);
   h.s.add(pm);
   h.s.reset();
   h.gen.push(axi::TxnDesc{true, 0, 0x100, 3, 3, axi::Burst::kIncr});

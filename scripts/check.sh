@@ -51,10 +51,26 @@ echo "check.sh: flat vs hierarchical topology equivalence OK"
 ./build/test_soc_desc_roundtrip --gtest_brief=1
 echo "check.sh: SocDesc round-trip + v1 migration OK"
 
+# Observability gate: metrics registry / latency probe / scheduler
+# profiler units, then the campaign-telemetry determinism contract (v3
+# report with probe histograms + eval profile, byte-identical across
+# thread counts).
+./build/test_obs_metrics --gtest_brief=1
+./build/test_obs_campaign --gtest_brief=1
+echo "check.sh: observability layer + campaign telemetry OK"
+
 # Scaling-bench smoke: the grid SoC sweep must construct and run at
 # small sizes with deterministic cross-implementation traffic counts.
 ./build/bench_soc_scaling --smoke
 echo "check.sh: bench_soc_scaling smoke OK"
+
+# Metrics registry gate: on the 32x24 grid hot path, per-link probes
+# writing through registry slots (+ the scheduler profiler) must stay
+# within 2% of identical probes writing into local members — the
+# registry layer itself adds nothing per increment (override:
+# TMU_METRICS_GATE_PCT).
+./build/bench_overhead --metrics-gate
+echo "check.sh: metrics registry overhead within gate"
 
 if [[ "$run_bench" == 1 ]]; then
   ./build/bench_sim_throughput \

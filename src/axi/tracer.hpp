@@ -1,7 +1,8 @@
 #pragma once
 
+#include <cinttypes>
 #include <cstdint>
-#include <sstream>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -25,29 +26,41 @@ struct TraceEvent {
   bool last = false;        ///< W/R only
 
   std::string describe() const {
-    std::ostringstream os;
-    os << "@" << cycle << " ";
+    // Fixed-buffer formatting: describe() runs per event when dumping
+    // large traces, and an ostringstream there means an allocation and
+    // a locale imbue per call. The widest line (AW/AR with a 64-bit id
+    // and address) is well under the buffer.
+    char buf[96];
     switch (kind) {
       case Kind::kAw:
-        os << "AW id=" << id << " addr=0x" << std::hex << addr << std::dec
-           << " len=" << unsigned{len};
+        std::snprintf(buf, sizeof buf,
+                      "@%" PRIu64 " AW id=%" PRIu64 " addr=0x%" PRIx64
+                      " len=%u",
+                      cycle, static_cast<std::uint64_t>(id),
+                      static_cast<std::uint64_t>(addr), unsigned{len});
         break;
       case Kind::kWBeat:
-        os << "W " << (last ? "(last)" : "");
+        std::snprintf(buf, sizeof buf, "@%" PRIu64 " W %s", cycle,
+                      last ? "(last)" : "");
         break;
       case Kind::kB:
-        os << "B id=" << id << " " << to_string(resp);
+        std::snprintf(buf, sizeof buf, "@%" PRIu64 " B id=%" PRIu64 " %s",
+                      cycle, static_cast<std::uint64_t>(id), to_string(resp));
         break;
       case Kind::kAr:
-        os << "AR id=" << id << " addr=0x" << std::hex << addr << std::dec
-           << " len=" << unsigned{len};
+        std::snprintf(buf, sizeof buf,
+                      "@%" PRIu64 " AR id=%" PRIu64 " addr=0x%" PRIx64
+                      " len=%u",
+                      cycle, static_cast<std::uint64_t>(id),
+                      static_cast<std::uint64_t>(addr), unsigned{len});
         break;
       case Kind::kRBeat:
-        os << "R id=" << id << " " << to_string(resp)
-           << (last ? " (last)" : "");
+        std::snprintf(buf, sizeof buf, "@%" PRIu64 " R id=%" PRIu64 " %s%s",
+                      cycle, static_cast<std::uint64_t>(id), to_string(resp),
+                      last ? " (last)" : "");
         break;
     }
-    return os.str();
+    return std::string(buf);
   }
 };
 
@@ -94,7 +107,10 @@ class Tracer : public sim::Module {
   }
 
   const std::vector<TraceEvent>& events() const { return events_; }
-  std::uint64_t dropped() const { return dropped_; }
+
+  /// Events discarded because the bounded log was full — a nonzero
+  /// count means the trace window is a prefix, not the whole run.
+  std::uint64_t drop_count() const { return dropped_; }
 
   /// Events of one kind, in order.
   std::vector<TraceEvent> filter(TraceEvent::Kind k) const {

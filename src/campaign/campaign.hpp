@@ -7,6 +7,7 @@
 
 #include "axi/traffic_gen.hpp"
 #include "fault/injector.hpp"
+#include "obs/metrics.hpp"
 #include "sim/stats.hpp"
 #include "soc/topologies.hpp"
 #include "tmu/config.hpp"
@@ -62,6 +63,12 @@ struct TrialResult {
   std::uint64_t completed_txns = 0;
   std::uint64_t data_mismatches = 0;
   std::uint64_t error_responses = 0;
+  /// The trial netlist's observability snapshot: every declarative
+  /// probe's metrics (desc.probes) plus the scheduler profile
+  /// ("sched.<module>.evals" counters, "sched.dirty_depth" histogram).
+  /// Merged index-order into the scenario summaries, so the report
+  /// carries per-link latency distributions for free.
+  obs::MetricsSnapshot metrics;
 };
 
 using TrialFn = std::function<TrialResult(const TrialSpec&)>;
@@ -102,6 +109,9 @@ struct ScenarioSummary {
   std::uint64_t total_eval_passes = 0;
   sim::RunningStats latency;   ///< detection latency across detected trials
   sim::Histogram latency_hist;
+  /// Exact merge of the scenario trials' metrics snapshots, in global
+  /// trial-index order — deterministic at any thread count.
+  obs::MetricsSnapshot metrics;
 };
 
 struct Report {
@@ -122,7 +132,7 @@ struct Report {
   std::uint64_t total_trials() const { return results.size(); }
   std::uint64_t total_cycles() const;
 
-  /// Deterministic JSON (schema tmu-campaign-report-v2; see README).
+  /// Deterministic JSON (schema tmu-campaign-report-v3; see README).
   std::string to_json() const;
   /// Writes to_json() to `path`; returns false on I/O failure.
   bool write_json(const std::string& path) const;

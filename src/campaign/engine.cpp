@@ -76,7 +76,10 @@ void append_summary_fields(std::string& out, const ScenarioSummary& sc,
   append_f(out, "\"min\": %.0f, ", sc.latency.min());
   append_f(out, "\"max\": %.0f, ", sc.latency.max());
   append_f(out, "\"p50\": %" PRIu64 ", ", sc.latency_hist.percentile(0.50));
-  append_f(out, "\"p99\": %" PRIu64 "}\n", sc.latency_hist.percentile(0.99));
+  append_f(out, "\"p99\": %" PRIu64 "},\n", sc.latency_hist.percentile(0.99));
+  append_f(out, "%s\"metrics\": {\n", indent);
+  sc.metrics.append_json(out, std::string(indent) + "  ");
+  append_f(out, "\n%s}\n", indent);
 }
 
 }  // namespace
@@ -84,7 +87,7 @@ void append_summary_fields(std::string& out, const ScenarioSummary& sc,
 std::string Report::to_json() const {
   std::string out;
   out += "{\n";
-  append_f(out, "  \"schema\": \"tmu-campaign-report-v2\",\n");
+  append_f(out, "  \"schema\": \"tmu-campaign-report-v3\",\n");
   append_f(out, "  \"base_seed\": %" PRIu64 ",\n", base_seed);
   append_f(out, "  \"total_trials\": %" PRIu64 ",\n", total_trials());
   append_f(out, "  \"total_cycles\": %" PRIu64 ",\n", total_cycles());
@@ -210,6 +213,7 @@ Report Engine::run(const std::vector<Scenario>& scenarios,
     ++sc.trials;
     sc.total_cycles += r.cycles_run;
     sc.total_eval_passes += r.eval_passes;
+    sc.metrics.merge(r.metrics);
     if (specs[i].point == fault::FaultPoint::kNone) {
       if (r.detected) ++sc.false_positives;
       continue;
@@ -249,6 +253,7 @@ Report Engine::run(const std::vector<Scenario>& scenarios,
     rep.overall.total_eval_passes += sc.total_eval_passes;
     rep.overall.latency.merge(sc.latency);
     rep.overall.latency_hist.merge(sc.latency_hist);
+    rep.overall.metrics.merge(sc.metrics);
   }
   return rep;
 }

@@ -87,6 +87,24 @@ TrialResult run_fault_trial(const TrialSpec& spec) {
   r.completed_txns = gen.completed();
   r.data_mismatches = gen.data_mismatches();
   r.error_responses = gen.error_responses();
+
+  // Observability: the netlist's probe metrics plus the scheduler
+  // profile, bridged into the snapshot under "sched.*" (obs does not
+  // know the scheduler and vice versa; the trial is the seam). Zero-eval
+  // modules are elided so grid-sized reports stay proportional to
+  // activity.
+  r.metrics = soc->metrics().snapshot();
+  const sim::sched::SchedProfile prof = s.sched_profile();
+  for (const auto& mp : prof.modules) {
+    if (mp.evals != 0) {
+      r.metrics.counters["sched." + mp.name + ".evals"] += mp.evals;
+    }
+    if (mp.sensitivity_misses != 0) {
+      r.metrics.counters["sched." + mp.name + ".sensitivity_misses"] +=
+          mp.sensitivity_misses;
+    }
+  }
+  r.metrics.histograms["sched.dirty_depth"].merge(prof.dirty_depth);
   return r;
 }
 

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/stats.hpp"
+
+/// Unified observability layer: a per-netlist metrics registry that
+/// modules publish into, plus value-type snapshots that serialize
+/// deterministically and merge exactly (campaign shards, remote
+/// workers). The design rule is zero hot-path overhead: slots are
+/// registered once at construction time and handed back as plain
+/// references, so an eval/tick-time update is an ordinary integer
+/// increment or a RunningStats/Histogram add — no name lookup, no
+/// allocation, no locking (a registry belongs to one netlist, which is
+/// driven by one thread at a time).
+namespace obs {
+
+class MetricsRegistry;
+
+/// A monotonically increasing (or testbench-reset) 64-bit event count.
+/// Obtained from MetricsRegistry::counter at construction; incremented
+/// freely on the hot path.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_ += n; }
+  void set(std::uint64_t v) { v_ = v; }
+  std::uint64_t value() const { return v_; }
+
+ private:
+  friend class MetricsRegistry;
+  std::uint64_t v_ = 0;
+};
+
+/// One coherent sample of a registry (or a merge of many): plain data,
+/// ordered by metric name, so two snapshots merge and serialize
+/// deterministically. merge() is exact — integer adds for counters and
+/// histogram bins, Chan et al. pooling for the moment statistics — so a
+/// snapshot merged from N shards in a fixed order is byte-identical to
+/// the single-shard run, which is what campaign reports depend on.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, sim::RunningStats> stats;
+  std::map<std::string, sim::Histogram> histograms;
+
+  bool empty() const {
+    return counters.empty() && stats.empty() && histograms.empty();
+  }
+
+  /// Combines another snapshot into this one (exact; see above).
+  void merge(const MetricsSnapshot& o);
+
+  /// Deterministic JSON document: fixed field order, names sorted.
+  std::string to_json() const;
+
+  /// Emits the snapshot's fields into an already-open JSON object at
+  /// the given indentation (no trailing comma/newline) — how campaign
+  /// summaries embed their metrics.
+  void append_json(std::string& out, const std::string& indent) const;
+};
+
+/// Named metric slots for one netlist. Names are hierarchical,
+/// dot-separated, derived from the owning module's name (the module
+/// tree's path): "dram.probe.read_latency", "io_cluster.xbar.evals".
+/// Each name belongs to exactly one metric kind; re-registering a
+/// (name, kind) pair returns the existing slot, registering a name
+/// under a second kind throws std::invalid_argument naming it.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  sim::RunningStats& stats(const std::string& name);
+  sim::Histogram& histogram(const std::string& name);
+
+  /// Copies every slot's current value (registration survives; the
+  /// snapshot is an independent value).
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every slot in place — references handed out stay valid,
+  /// which is what makes this safe to call from Module::reset paths.
+  void reset_values();
+
+  std::size_t size() const {
+    return counters_.size() + stats_.size() + histograms_.size();
+  }
+
+ private:
+  void claim(const std::string& name, char kind);
+
+  // std::map: stable slot addresses for the lifetime of the registry
+  // plus name-sorted iteration for deterministic snapshots.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, sim::RunningStats> stats_;
+  std::map<std::string, sim::Histogram> histograms_;
+  std::map<std::string, char> kind_of_;
+};
+
+}  // namespace obs

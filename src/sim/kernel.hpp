@@ -132,6 +132,15 @@ class Simulator {
   /// Event-driven scheduler counters (wires, edges, wakeups, misses).
   const sched::SchedStats& sched_stats() const { return sched_.stats(); }
 
+  /// Per-module scheduler profile (eval counts, wake causes, misses,
+  /// dirty-depth histogram). Event-driven mode only; empty counters
+  /// under kFullSweep.
+  sched::SchedProfile sched_profile() const { return sched_.profile(); }
+
+  /// Toggles the per-module profiler (default on). Off measures the
+  /// scheduler's floor; the aggregate SchedStats stay counted.
+  void set_sched_profiling(bool on) { sched_.set_profiling(on); }
+
   /// Discards the cached settled state; the next settle() re-evaluates.
   /// Needed only when module-internal state changes outside tick()/reset()
   /// (wire writes are tracked automatically via the write epoch).

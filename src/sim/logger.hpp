@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iostream>
 #include <sstream>
@@ -9,9 +10,14 @@ namespace sim {
 
 enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
-/// Process-wide log level; benches/examples raise it to keep output clean.
-inline LogLevel& global_log_level() {
-  static LogLevel level = LogLevel::kWarn;
+/// Process-wide log level; benches/examples raise it to keep output
+/// clean. Atomic because campaign workers log concurrently while a
+/// testbench thread may adjust the level — a plain LogLevel here is a
+/// data race (TSan-visible) even though every access is a whole-word
+/// load/store. Assignment still reads naturally:
+///   sim::global_log_level() = sim::LogLevel::kOff;
+inline std::atomic<LogLevel>& global_log_level() {
+  static std::atomic<LogLevel> level{LogLevel::kWarn};
   return level;
 }
 
@@ -19,9 +25,11 @@ inline LogLevel& global_log_level() {
 ///   sim::log(sim::LogLevel::kInfo, "tmu", cycle) << "timeout on id " << id;
 class LogLine {
  public:
-  LogLine(LogLevel level, const std::string& tag, std::uint64_t cycle)
-      : enabled_(level >= global_log_level() &&
-                 global_log_level() != LogLevel::kOff) {
+  LogLine(LogLevel level, const std::string& tag, std::uint64_t cycle) {
+    // One load per line: the level cannot tear between the comparison
+    // and the kOff check.
+    const LogLevel cur = global_log_level().load(std::memory_order_relaxed);
+    enabled_ = level >= cur && cur != LogLevel::kOff;
     if (enabled_) {
       stream_ << "[" << level_name(level) << "] @" << cycle << " " << tag
               << ": ";
@@ -50,7 +58,7 @@ class LogLine {
     }
   }
 
-  bool enabled_;
+  bool enabled_ = false;
   std::ostringstream stream_;
 };
 

@@ -39,22 +39,38 @@ std::uint32_t EventScheduler::register_module(Module& m) {
     discovered_.push_back(0);
     read_set_.emplace_back();
     dirty_.push_back(0);
+    prof_evals_.push_back(0);
+    prof_wire_wakes_.push_back(0);
+    prof_tick_wakes_.push_back(0);
+    prof_notify_wakes_.push_back(0);
+    prof_full_wakes_.push_back(0);
+    prof_misses_.push_back(0);
   }
-  if (combinational_[it->second] != 0) enqueue(it->second);
+  if (combinational_[it->second] != 0) {
+    enqueue(it->second, WakeCause::kFull);
+  }
   return it->second;
 }
 
 void EventScheduler::mark_all_dirty() {
   ++stats_.full_invalidations;
   for (std::uint32_t i = 0; i < modules_.size(); ++i) {
-    if (combinational_[i] != 0) enqueue(i);
+    if (combinational_[i] != 0) enqueue(i, WakeCause::kFull);
   }
 }
 
-void EventScheduler::enqueue(std::uint32_t idx) {
+void EventScheduler::enqueue(std::uint32_t idx, WakeCause cause) {
   if (dirty_[idx] == 0) {
     dirty_[idx] = 1;
     queue_.push_back(idx);
+    if (profiling_) {
+      switch (cause) {
+        case WakeCause::kWire: ++prof_wire_wakes_[idx]; break;
+        case WakeCause::kTick: ++prof_tick_wakes_[idx]; break;
+        case WakeCause::kNotify: ++prof_notify_wakes_[idx]; break;
+        case WakeCause::kFull: ++prof_full_wakes_[idx]; break;
+      }
+    }
   }
 }
 
@@ -78,7 +94,10 @@ void EventScheduler::on_wire_read(std::uint64_t& slot) {
     rs[w] = true;
     fanout_[w].push_back(cur_);
     ++stats_.edges;
-    if (discovered_[cur_] != 0) ++stats_.sensitivity_misses;
+    if (discovered_[cur_] != 0) {
+      ++stats_.sensitivity_misses;
+      if (profiling_) ++prof_misses_[cur_];
+    }
   }
 }
 
@@ -91,6 +110,7 @@ void EventScheduler::on_wire_write(std::uint64_t& slot) {
       dirty_[reader] = 1;
       queue_.push_back(reader);
       ++stats_.wakeups;
+      if (profiling_) ++prof_wire_wakes_[reader];
     }
   }
 }
@@ -99,7 +119,7 @@ void EventScheduler::on_module_notified(const Module& m) {
   absorb_attributed_bump();
   const auto it = index_of_.find(&m);
   if (it != index_of_.end() && combinational_[it->second] != 0) {
-    enqueue(it->second);
+    enqueue(it->second, WakeCause::kNotify);
   }
   // An unregistered (or tick-only) module's notification leaves the
   // epoch gap unabsorbed only if the bump wasn't contiguous; for
@@ -120,6 +140,9 @@ std::size_t EventScheduler::drain(int max_delta_iterations) {
       static_cast<std::size_t>(max_delta_iterations) *
       std::max<std::size_t>(modules_.size(), 1);
   std::size_t evals = 0;
+  if (profiling_ && head_ < queue_.size()) {
+    depth_hist_.add(queue_.size() - head_);
+  }
   while (head_ < queue_.size()) {
     if (evals >= budget) throw_divergence();
     const std::uint32_t m = queue_[head_++];
@@ -129,6 +152,7 @@ std::size_t EventScheduler::drain(int max_delta_iterations) {
     cur_ = m;
     modules_[m]->eval();
     discovered_[m] = 1;
+    if (profiling_) ++prof_evals_[m];
     ++evals;
   }
   cur_ = kNoModule;
@@ -137,6 +161,24 @@ std::size_t EventScheduler::drain(int max_delta_iterations) {
   stats_.module_evals += evals;
   if (evals > 0) ++stats_.drains;
   return evals;
+}
+
+SchedProfile EventScheduler::profile() const {
+  SchedProfile p;
+  p.modules.reserve(modules_.size());
+  for (std::size_t i = 0; i < modules_.size(); ++i) {
+    ModuleProfile mp;
+    mp.name = modules_[i]->name();
+    mp.evals = prof_evals_[i];
+    mp.wire_wakeups = prof_wire_wakes_[i];
+    mp.tick_wakeups = prof_tick_wakes_[i];
+    mp.notify_wakeups = prof_notify_wakes_[i];
+    mp.full_wakeups = prof_full_wakes_[i];
+    mp.sensitivity_misses = prof_misses_[i];
+    p.modules.push_back(std::move(mp));
+  }
+  p.dirty_depth = depth_hist_;
+  return p;
 }
 
 void EventScheduler::throw_divergence() {

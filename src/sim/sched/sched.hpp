@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sim/context.hpp"
+#include "sim/sched/profiler.hpp"
 #include "sim/sched/trace.hpp"
 
 namespace sim {
@@ -83,7 +84,7 @@ class EventScheduler final : public detail::WireTrace,
   /// Enqueues one module by its register_module() index (no-op for
   /// tick-only modules). The kernel's precise post-edge invalidation.
   void mark_index_dirty(std::uint32_t idx) {
-    if (combinational_[idx] != 0) enqueue(idx);
+    if (combinational_[idx] != 0) enqueue(idx, WakeCause::kTick);
   }
 
   bool has_dirty() const { return head_ != queue_.size(); }
@@ -101,6 +102,16 @@ class EventScheduler final : public detail::WireTrace,
 
   const SchedStats& stats() const { return stats_; }
 
+  /// Per-module profiling (default on): eval counts, wake causes,
+  /// sensitivity misses, dirty-set depth. One array index per enqueue —
+  /// cheap enough to leave on; turn off to measure the floor.
+  void set_profiling(bool on) { profiling_ = on; }
+  bool profiling() const { return profiling_; }
+
+  /// A coherent copy of the per-module profile (registration order)
+  /// and the dirty-depth histogram accumulated so far.
+  SchedProfile profile() const;
+
  private:
   static constexpr std::uint32_t kNoModule = 0xFFFF'FFFFu;
 
@@ -109,7 +120,7 @@ class EventScheduler final : public detail::WireTrace,
   void on_module_notified(const Module& m) override;
 
   std::uint32_t wire_id(std::uint64_t& slot);
-  void enqueue(std::uint32_t idx);
+  void enqueue(std::uint32_t idx, WakeCause cause);
   void absorb_attributed_bump();
   [[noreturn]] void throw_divergence();
 
@@ -132,6 +143,20 @@ class EventScheduler final : public detail::WireTrace,
   std::uint32_t n_wires_ = 0;
   std::uint64_t accounted_epoch_ = 0;
   SchedStats stats_;
+
+  // Profiler state: one slot per module, registration order. An enqueue
+  // attributes its cause to the woken module; evals and misses are
+  // attributed in drain()/on_wire_read(). Kept as parallel flat arrays
+  // (not an array of structs) so the common case — bumping one counter —
+  // touches one cache line per kind.
+  bool profiling_ = true;
+  std::vector<std::uint64_t> prof_evals_;
+  std::vector<std::uint64_t> prof_wire_wakes_;
+  std::vector<std::uint64_t> prof_tick_wakes_;
+  std::vector<std::uint64_t> prof_notify_wakes_;
+  std::vector<std::uint64_t> prof_full_wakes_;
+  std::vector<std::uint64_t> prof_misses_;
+  Histogram depth_hist_;  ///< worklist length at each non-empty drain
 };
 
 }  // namespace sim::sched

@@ -63,7 +63,37 @@ class RunningStats {
 /// distributions where the support is small.
 class Histogram {
  public:
-  void add(std::uint64_t value) { ++bins_[value]; }
+  Histogram() = default;
+  // The last-bin cache points into bins_, so copies and moves must drop
+  // it rather than inherit a pointer into another histogram's map.
+  Histogram(const Histogram& o) : bins_(o.bins_) {}
+  Histogram(Histogram&& o) noexcept : bins_(std::move(o.bins_)) {
+    o.last_bin_ = nullptr;
+  }
+  Histogram& operator=(const Histogram& o) {
+    bins_ = o.bins_;
+    last_bin_ = nullptr;
+    return *this;
+  }
+  Histogram& operator=(Histogram&& o) noexcept {
+    bins_ = std::move(o.bins_);
+    last_bin_ = nullptr;
+    o.last_bin_ = nullptr;
+    return *this;
+  }
+
+  /// Amortized O(1) for runs of the same value (one compare + one
+  /// increment): the last-touched bin is cached, so sampling a
+  /// slow-moving quantity every cycle (e.g. link occupancy) costs no
+  /// map lookup. Nodes are never erased, so the cache only goes stale
+  /// through assignment, which drops it.
+  void add(std::uint64_t value) {
+    if (last_bin_ == nullptr || value != last_value_) {
+      last_bin_ = &bins_[value];
+      last_value_ = value;
+    }
+    ++*last_bin_;
+  }
 
   /// Combines another histogram into this one (exact: integer counts).
   void merge(const Histogram& o) {
@@ -99,6 +129,8 @@ class Histogram {
 
  private:
   std::map<std::uint64_t, std::uint64_t> bins_;
+  std::uint64_t* last_bin_ = nullptr;
+  std::uint64_t last_value_ = 0;
 };
 
 }  // namespace sim

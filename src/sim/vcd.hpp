@@ -17,14 +17,26 @@ class VcdWriter {
  public:
   explicit VcdWriter(const std::string& path) : out_(path) {}
 
-  /// Adds a probe before the first sample. Width 1 emits scalar 0/1;
-  /// wider probes emit binary vectors.
+  /// Adds a probe. Must be called before the first sample(): the VCD
+  /// header declaring every variable is written once, so a probe added
+  /// afterwards could never appear in it. Such a late probe is rejected
+  /// (dropped) and ok() turns false naming the failure mode — silently
+  /// emitting undeclared value changes would corrupt the dump.
   void probe(const std::string& name, unsigned width,
              std::function<std::uint64_t()> getter) {
+    if (header_done_) {
+      late_probe_rejected_ = true;
+      return;
+    }
     probes_.push_back(Probe{name, width, std::move(getter), ~0ull, code()});
   }
 
-  bool ok() const { return out_.good(); }
+  /// Stream healthy AND no probe() arrived after the header was written.
+  bool ok() const { return out_.good() && !late_probe_rejected_; }
+
+  /// True when a probe() call arrived after the first sample() and was
+  /// dropped (the header had already been emitted).
+  bool late_probe_rejected() const { return late_probe_rejected_; }
 
   /// Emits the header on the first call, then one timestep per call.
   void sample(std::uint64_t cycle) {
@@ -85,6 +97,7 @@ class VcdWriter {
   std::vector<Probe> probes_;
   unsigned next_code_ = 0;
   bool header_done_ = false;
+  bool late_probe_rejected_ = false;
 };
 
 }  // namespace sim

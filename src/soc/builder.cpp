@@ -32,6 +32,7 @@
 #include "axi/memory.hpp"
 #include "axi/traffic_gen.hpp"
 #include "fault/injector.hpp"
+#include "obs/latency_probe.hpp"
 #include "soc/cpu_stub.hpp"
 #include "soc/ethernet.hpp"
 #include "soc/idma.hpp"
@@ -271,6 +272,38 @@ void SocBuilder::validate(const SocDesc& d) {
           std::to_string(d.subordinates.size()));
     }
   }
+
+  // Probes: fresh block names, and each must target a link the builder
+  // will actually create (the naming scheme documented on soc::Soc,
+  // mirrored here over the whole cluster tree).
+  if (!d.probes.empty()) {
+    std::set<std::string> link_names;
+    for (const ManagerDesc& m : d.managers) link_names.insert(m.name + ".out");
+    const std::function<void(const std::vector<SubordinateDesc>&,
+                             const std::vector<GuardDesc>&)>
+        collect_links = [&](const std::vector<SubordinateDesc>& subs,
+                            const std::vector<GuardDesc>& guards) {
+          for (const SubordinateDesc& s : subs) {
+            for (const std::string& b : chain_blocks(guards, s)) {
+              link_names.insert(b + ".in");
+            }
+            if (s.kind == SubordinateKind::kCluster) {
+              link_names.insert(s.name + ".down");
+              const ClusterDesc& c = s.cluster.front();
+              collect_links(c.subordinates, c.guards);
+            }
+          }
+        };
+    collect_links(d.subordinates, d.guards);
+    for (const ProbeDesc& p : d.probes) {
+      claim(p.name, "probe");
+      if (link_names.count(p.link) == 0) {
+        err("probe '" + p.name + "' references unknown link '" + p.link +
+            "' (valid names: \"<manager>.out\", \"<block>.in\", "
+            "\"<cluster>.down\")");
+      }
+    }
+  }
 }
 
 std::unique_ptr<Soc> SocBuilder::build(const SocDesc& desc) {
@@ -440,6 +473,14 @@ std::unique_ptr<Soc> SocBuilder::build(const SocDesc& desc) {
     add(std::make_unique<CpuRecoveryStub>(d.recovery.cpu, plic,
                                           std::move(tmus),
                                           d.recovery.handler_latency));
+  }
+
+  // 6. Observability probes, in declaration order — appended after the
+  // functional netlist so probe insertion never perturbs the canonical
+  // registration order (cycle-exact equivalence pins phases 1-5).
+  for (const ProbeDesc& p : d.probes) {
+    add(std::make_unique<obs::LatencyProbe>(p.name, soc->link(p.link),
+                                            soc->metrics_));
   }
 
   // Register everything in construction order, reset, and apply the

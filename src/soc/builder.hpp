@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "axi/link.hpp"
+#include "obs/metrics.hpp"
 #include "sim/kernel.hpp"
 #include "soc/desc.hpp"
 
@@ -68,6 +69,13 @@ class Soc {
     return *it->second;
   }
 
+  /// The netlist's metrics registry: declarative probes (SocDesc::
+  /// probes) publish into it, and campaign trials snapshot it into
+  /// reports. Testbench code may register additional slots — the
+  /// registry lives as long as the Soc.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
   /// Registered block names in simulator-registration order.
   std::vector<std::string> block_names() const {
     std::vector<std::string> names;
@@ -81,6 +89,7 @@ class Soc {
   explicit Soc(SocDesc desc) : desc_(std::move(desc)), sim_(desc_.policy) {}
 
   SocDesc desc_;
+  obs::MetricsRegistry metrics_;
   std::vector<std::unique_ptr<axi::Link>> links_;
   std::vector<std::unique_ptr<sim::Module>> modules_;  ///< registration order
   std::map<std::string, sim::Module*> by_name_;

@@ -730,6 +730,14 @@ std::string SocDesc::to_json() const {
   e.open_arr("guards");
   for (const GuardDesc& g : guards) emit_guard(e, g);
   e.close_arr();
+  e.open_arr("probes");
+  for (const ProbeDesc& p : probes) {
+    e.open_obj();
+    e.str("name", p.name);
+    e.str("link", p.link);
+    e.close_obj();
+  }
+  e.close_arr();
   e.open_obj("recovery");
   e.boolean("enabled", recovery.enabled);
   e.str("plic", recovery.plic);
@@ -819,6 +827,19 @@ SocDesc SocDesc::from_json(const std::string& json) {
     for (std::size_t i = 0; i < arr->arr.size(); ++i) {
       d.guards.push_back(
           parse_guard(arr->arr[i], "desc.guards[" + std::to_string(i) + "]"));
+    }
+  }
+
+  if (const Json* arr = r.take("probes")) {
+    if (arr->kind != Json::Kind::kArray) fail("desc.probes must be an array");
+    for (std::size_t i = 0; i < arr->arr.size(); ++i) {
+      const std::string where = "desc.probes[" + std::to_string(i) + "]";
+      ProbeDesc p;
+      ObjReader rp(arr->arr[i], where);
+      rp.get("name", p.name);
+      rp.get("link", p.link);
+      rp.finish();
+      d.probes.push_back(std::move(p));
     }
   }
 

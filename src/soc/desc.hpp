@@ -144,6 +144,22 @@ struct ClusterDesc {
   bool operator==(const ClusterDesc&) const = default;
 };
 
+/// One declarative observability probe: an obs::LatencyProbe attached to
+/// a named link anywhere in the tree, publishing "<name>.*" metrics into
+/// the Soc's MetricsRegistry. `link` uses the builder's link-naming
+/// scheme — "<manager>.out" (a manager's port into the crossbar),
+/// "<block>.in" (the link feeding a named block: an injector, TMU, LLC,
+/// endpoint, or cluster bridge) or "<cluster>.down" (behind a bridge);
+/// validated against the topology. Part of the canonical JSON
+/// (hash-covered): two descs differing only in probes are different
+/// topologies.
+struct ProbeDesc {
+  std::string name;  ///< probe module name = metrics prefix
+  std::string link;  ///< builder link name to observe
+
+  bool operator==(const ProbeDesc&) const = default;
+};
+
 /// The software side of the recovery loop: a PLIC-lite collecting every
 /// guard's irq (in guard declaration order) and a CPU recovery stub
 /// servicing them.
@@ -179,6 +195,7 @@ struct SocDesc {
   std::vector<ManagerDesc> managers;
   std::vector<SubordinateDesc> subordinates;
   std::vector<GuardDesc> guards;
+  std::vector<ProbeDesc> probes;  ///< per-link observability probes
   RecoveryDesc recovery{};
 
   bool operator==(const SocDesc&) const = default;

@@ -78,7 +78,7 @@ TEST_F(TracerFixture, CapacityBoundsAndDropCount) {
   g2.push(TxnDesc{true, 0, 0x0, 15, 3, Burst::kIncr});
   ASSERT_TRUE(s2.run_until([&] { return g2.completed() >= 1; }, 300));
   EXPECT_EQ(small.events().size(), 4u);
-  EXPECT_GT(small.dropped(), 0u);
+  EXPECT_GT(small.drop_count(), 0u);
 }
 
 TEST_F(TracerFixture, DescribeFormats) {

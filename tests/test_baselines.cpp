@@ -4,9 +4,9 @@
 #include "axi/memory.hpp"
 #include "axi/traffic_gen.hpp"
 #include "baseline/axichecker.hpp"
-#include "baseline/perf_monitor.hpp"
 #include "baseline/xilinx_timeout.hpp"
 #include "fault/injector.hpp"
+#include "obs/latency_probe.hpp"
 #include "sim/kernel.hpp"
 
 namespace {
@@ -125,10 +125,14 @@ TEST(Sp805, KickPreventsTimeout) {
   EXPECT_FALSE(wd.irq_pending());
 }
 
-// --------------------------- perf monitor -----------------------------
+// --------------------------- latency probe -----------------------------
 
+// Successor of the retired baseline::AxiPerfMonitor: identical latency
+// and throughput semantics, now publishing into a MetricsRegistry. The
+// pinned counts below are the old monitor's numbers.
 TEST_F(BaselineFixture, PerfMonitorCountsTraffic) {
-  baseline::AxiPerfMonitor pm("pm", up);
+  obs::MetricsRegistry reg;
+  obs::LatencyProbe pm("pm", up, reg);
   s.add(pm);
   s.reset();
   for (int i = 0; i < 4; ++i) {

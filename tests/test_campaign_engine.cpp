@@ -153,7 +153,7 @@ TEST_F(CampaignEngine, CustomTrialFnAndJsonShape) {
       });
   EXPECT_EQ(rep.total_trials(), 5u);
   const std::string json = rep.to_json();
-  EXPECT_NE(json.find("\"schema\": \"tmu-campaign-report-v2\""),
+  EXPECT_NE(json.find("\"schema\": \"tmu-campaign-report-v3\""),
             std::string::npos);
   EXPECT_NE(json.find("synthetic \\\"quoted\\\""), std::string::npos);
   EXPECT_NE(json.find("\"false_positives\": 0"), std::string::npos);

@@ -51,7 +51,7 @@ TEST(WireEpoch, StructValuesCompareDeep) {
 }
 
 TEST(Logger, LevelGateWorks) {
-  const auto saved = sim::global_log_level();
+  const sim::LogLevel saved = sim::global_log_level();
   sim::global_log_level() = sim::LogLevel::kError;
   // Below the gate: nothing should be emitted (visually verified by the
   // absence of output; functionally the LogLine is disabled).

@@ -113,4 +113,35 @@ TEST(Vcd, ManyProbesGetDistinctCodes) {
   std::remove(path.c_str());
 }
 
+TEST(Vcd, LateProbeIsRejectedNotCorrupting) {
+  const std::string path = "/tmp/tmu_vcd_test5.vcd";
+  {
+    sim::VcdWriter vcd(path);
+    int v = 0;
+    vcd.probe("early", 1, [&] { return static_cast<std::uint64_t>(v); });
+    EXPECT_TRUE(vcd.ok());
+    EXPECT_FALSE(vcd.late_probe_rejected());
+    vcd.sample(0);  // finalizes the header
+    // A probe after the header is on disk cannot be declared any more:
+    // it is dropped, and ok() reports the misuse instead of silently
+    // emitting changes for an undeclared signal.
+    vcd.probe("late", 1, [] { return std::uint64_t{1}; });
+    EXPECT_TRUE(vcd.late_probe_rejected());
+    EXPECT_FALSE(vcd.ok());
+    v = 1;
+    vcd.sample(1);
+    vcd.flush();
+  }
+  const std::string s = slurp(path);
+  // Exactly the one declared signal, still toggling normally.
+  std::size_t count = 0, pos = 0;
+  while ((pos = s.find("$var", pos)) != std::string::npos) {
+    ++count;
+    pos += 4;
+  }
+  EXPECT_EQ(count, 1u);
+  EXPECT_NE(s.find("#1\n1!"), std::string::npos);
+  std::remove(path.c_str());
+}
+
 }  // namespace

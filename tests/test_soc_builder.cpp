@@ -172,6 +172,25 @@ SocDesc nested_desc() {
   return d;
 }
 
+TEST(SocBuilderValidation, ProbesTargetRealLinksWithFreshNames) {
+  // Manager ports, subordinate inputs, and cluster downlinks are all
+  // probeable; the leaves of a nested cluster too.
+  SocDesc d = nested_desc();
+  d.probes.push_back({"p0", "gen.out"});
+  d.probes.push_back({"p1", "mem0.in"});
+  d.probes.push_back({"p2", "cl.down"});
+  d.probes.push_back({"p3", "leaf1.in"});
+  EXPECT_NO_THROW(SocBuilder::validate(d));
+
+  SocDesc bad = base_desc();
+  bad.probes.push_back({"p0", "gen.in"});  // managers expose .out, not .in
+  expect_invalid(bad, "probe 'p0' references unknown link 'gen.in'");
+
+  SocDesc clash = base_desc();
+  clash.probes.push_back({"mem1", "gen.out"});
+  expect_invalid(clash, "duplicate block name 'mem1'");
+}
+
 TEST(SocBuilderValidation, AcceptsTheHierarchicalTopologies) {
   EXPECT_NO_THROW(SocBuilder::validate(nested_desc()));
   EXPECT_NO_THROW(SocBuilder::validate(soc::hierarchical_desc({})));

@@ -338,6 +338,19 @@ campaign::TrialResult legacy_fault_trial(const campaign::TrialSpec& spec) {
   r.completed_txns = gen.completed();
   r.data_mismatches = gen.data_mismatches();
   r.error_responses = gen.error_responses();
+  // Mirror run_fault_trial's telemetry bridge: the hand-wired netlist
+  // has no probes, so the scheduler profile is the whole snapshot.
+  const sim::sched::SchedProfile prof = s.sched_profile();
+  for (const auto& mp : prof.modules) {
+    if (mp.evals != 0) {
+      r.metrics.counters["sched." + mp.name + ".evals"] += mp.evals;
+    }
+    if (mp.sensitivity_misses != 0) {
+      r.metrics.counters["sched." + mp.name + ".sensitivity_misses"] +=
+          mp.sensitivity_misses;
+    }
+  }
+  r.metrics.histograms["sched.dirty_depth"].merge(prof.dirty_depth);
   return r;
 }
 

@@ -129,6 +129,16 @@ SocDesc random_desc(std::uint64_t seed) {
       d.guards.push_back(random_guard(rng, d.subordinates.back().name, uid++));
     }
   }
+  // Observability probes on a random subset of manager ports (the
+  // serializer round-trips them like any other section).
+  for (const ManagerDesc& m : d.managers) {
+    if (rng.chance(0.4)) {
+      soc::ProbeDesc p;
+      p.name = name_of("p", uid++);
+      p.link = m.name + ".out";
+      d.probes.push_back(std::move(p));
+    }
+  }
   if (rng.chance(0.5)) {
     d.recovery.enabled = true;
     d.recovery.handler_latency = static_cast<std::uint32_t>(rng.range(1, 64));
@@ -198,6 +208,19 @@ TEST(SocDescRoundTrip, HashCoversNestedClusterFields) {
   });
   expect_hash_sensitive(d, "nested guard reset_unit", [](SocDesc& m) {
     m.subordinates[1].cluster[0].guards[1].reset_unit = "other";
+  });
+  // Probes are part of the canonical document: adding one, renaming one
+  // or moving it to another link are all distinct topologies.
+  expect_hash_sensitive(d, "probe added", [](SocDesc& m) {
+    m.probes.push_back({"probe0", "dram.in"});
+  });
+  SocDesc with_probe = d;
+  with_probe.probes.push_back({"probe0", "dram.in"});
+  expect_hash_sensitive(with_probe, "probe name", [](SocDesc& m) {
+    m.probes[0].name = "probe1";
+  });
+  expect_hash_sensitive(with_probe, "probe link", [](SocDesc& m) {
+    m.probes[0].link = "cpu0.out";
   });
 }
 
