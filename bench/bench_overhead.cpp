@@ -295,8 +295,14 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics-gate") == 0) return metrics_gate();
   }
-  print_table();
-  metrics_gate();
+  // TMU_OVERHEAD_REPORT=0 skips the comparison tables and the gate (the
+  // registered benchmarks are the baseline payload recorded by
+  // scripts/bench_baseline.sh; run bare for the printed tables).
+  const char* rep = std::getenv("TMU_OVERHEAD_REPORT");
+  if (rep == nullptr || std::strcmp(rep, "0") != 0) {
+    print_table();
+    metrics_gate();
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Runs bench_sim_throughput, bench_campaign and bench_soc_scaling and
-# records the results as the committed baselines under bench/baselines/.
-# Usage: scripts/bench_baseline.sh [throughput.json] [campaign.json] [scaling.json]
+# Runs bench_sim_throughput, bench_campaign, bench_soc_scaling and
+# bench_overhead and records the results as the committed baselines
+# under bench/baselines/.
+# Usage: scripts/bench_baseline.sh [throughput.json] [campaign.json]
+#                                  [scaling.json] [overhead.json]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -10,12 +12,13 @@ cd "$repo_root"
 out="${1:-bench/baselines/BENCH_sim_throughput.json}"
 campaign_out="${2:-bench/baselines/BENCH_campaign.json}"
 scaling_out="${3:-bench/baselines/BENCH_soc_scaling.json}"
+overhead_out="${4:-bench/baselines/BENCH_overhead.json}"
 mkdir -p "$(dirname "$out")" "$(dirname "$campaign_out")" \
-  "$(dirname "$scaling_out")"
+  "$(dirname "$scaling_out")" "$(dirname "$overhead_out")"
 
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j --target bench_sim_throughput bench_campaign \
-  bench_soc_scaling
+  bench_soc_scaling bench_overhead
 
 # Arg 0 = full-sweep scheduler, arg 1 = event-driven: the baseline
 # carries both policies. TMU_SPEEDUP_REPORT=0 skips the chrono preamble
@@ -46,5 +49,17 @@ TMU_SCALING_REPORT=0 ./build/bench_soc_scaling \
   --benchmark_repetitions=3 \
   --benchmark_report_aggregates_only=true
 
+# TMU-vs-bare traversal cost (BM_WithTmu / BM_Bare — the §II-B "no
+# added latency" claim as wall-clock numbers). TMU_OVERHEAD_REPORT=0
+# skips the comparison tables and the metrics-registry gate — run
+# ./build/bench_overhead directly for those, or `--metrics-gate` for
+# the CI exit code.
+TMU_OVERHEAD_REPORT=0 ./build/bench_overhead \
+  --benchmark_out="$overhead_out" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true
+
 echo
-echo "Baselines recorded at $out, $campaign_out and $scaling_out"
+echo "Baselines recorded at $out, $campaign_out, $scaling_out and" \
+  "$overhead_out"

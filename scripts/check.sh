@@ -59,6 +59,18 @@ echo "check.sh: SocDesc round-trip + v1 migration OK"
 ./build/test_obs_campaign --gtest_brief=1
 echo "check.sh: observability layer + campaign telemetry OK"
 
+# Tracing gate: tmu-axi-trace-v1 format units (incl. the committed
+# fixture byte-pin), record -> replay equivalence on the IP testbench
+# and the full Cheshire SoC under both scheduler policies, the
+# deterministic Chrome-trace export, and the end-to-end
+# record/replay/export example (exit 0 iff the replay reproduced the
+# subordinate-side traffic and memory state byte-identically).
+./build/test_trace_format --gtest_brief=1
+./build/test_trace_replay --gtest_brief=1
+./build/test_trace_export --gtest_brief=1
+./build/trace_replay > /dev/null
+echo "check.sh: trace record/replay/export equivalence OK"
+
 # Scaling-bench smoke: the grid SoC sweep must construct and run at
 # small sizes with deterministic cross-implementation traffic counts.
 ./build/bench_soc_scaling --smoke

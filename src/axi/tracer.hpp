@@ -8,6 +8,7 @@
 
 #include "axi/link.hpp"
 #include "axi/types.hpp"
+#include "obs/metrics.hpp"
 #include "sim/module.hpp"
 
 namespace axi {
@@ -72,6 +73,24 @@ class Tracer : public sim::Module {
   Tracer(std::string name, Link& link, std::size_t capacity = 65536)
       : sim::Module(std::move(name)), link_(link), capacity_(capacity) {}
 
+  /// Registry-publishing variant (e.g. when attached to a Soc, pass
+  /// soc.metrics()): per-kind event counters "<name>.aw|w|b|ar|r" plus
+  /// "<name>.events" and "<name>.dropped", so bus activity and capture
+  /// health show up next to the probe metrics. Slots follow the
+  /// LatencyProbe convention: reset() does not clear them — the
+  /// registry owner picks snapshot boundaries.
+  Tracer(const std::string& name, Link& link, obs::MetricsRegistry& registry,
+         std::size_t capacity = 65536)
+      : sim::Module(name), link_(link), capacity_(capacity) {
+    events_total_ = &registry.counter(name + ".events");
+    dropped_ctr_ = &registry.counter(name + ".dropped");
+    kind_ctr_[0] = &registry.counter(name + ".aw");
+    kind_ctr_[1] = &registry.counter(name + ".w");
+    kind_ctr_[2] = &registry.counter(name + ".b");
+    kind_ctr_[3] = &registry.counter(name + ".ar");
+    kind_ctr_[4] = &registry.counter(name + ".r");
+  }
+
   /// Samples settled wires in tick() only; schedulers skip it in settle.
   bool is_combinational() const override { return false; }
 
@@ -125,9 +144,14 @@ class Tracer : public sim::Module {
   void push(const TraceEvent& e) {
     if (events_.size() >= capacity_) {
       ++dropped_;
+      if (dropped_ctr_ != nullptr) dropped_ctr_->inc();
       return;
     }
     events_.push_back(e);
+    if (events_total_ != nullptr) {
+      events_total_->inc();
+      kind_ctr_[static_cast<std::size_t>(e.kind)]->inc();
+    }
   }
 
   Link& link_;
@@ -135,6 +159,10 @@ class Tracer : public sim::Module {
   std::vector<TraceEvent> events_;
   std::uint64_t dropped_ = 0;
   std::uint64_t cycle_ = 0;
+
+  obs::Counter* events_total_ = nullptr;
+  obs::Counter* dropped_ctr_ = nullptr;
+  obs::Counter* kind_ctr_[5] = {nullptr, nullptr, nullptr, nullptr, nullptr};
 };
 
 }  // namespace axi

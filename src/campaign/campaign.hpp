@@ -11,6 +11,7 @@
 #include "sim/stats.hpp"
 #include "soc/topologies.hpp"
 #include "tmu/config.hpp"
+#include "trace/format.hpp"
 
 /// Parallel Monte-Carlo fault-campaign engine (§III-A.3: "injecting
 /// random failures at key AXI transaction stages"). A campaign is a list
@@ -49,6 +50,12 @@ struct TrialSpec {
   std::uint64_t detect_budget = 4000;    ///< cycles after injection delay
   std::uint64_t soak_cycles = 10000;     ///< run length for healthy trials
   bool exercise_recovery = false;        ///< after detection: disarm, recover
+  /// Extra links to capture during the trial (builder link names, e.g.
+  /// "gen.out"). Each becomes a declarative TraceDesc named
+  /// "trace.<link>" appended to the desc's own `traces`; the captured
+  /// streams come back in TrialResult::traces (desc traces first, then
+  /// these, in order).
+  std::vector<std::string> trace_links;
 };
 
 struct TrialResult {
@@ -69,6 +76,10 @@ struct TrialResult {
   /// Merged index-order into the scenario summaries, so the report
   /// carries per-link latency distributions for free.
   obs::MetricsSnapshot metrics;
+  /// Captured AXI streams, one per desc trace + spec trace_link (in that
+  /// order): replayable via trace::TraceTrafficGen or exportable with
+  /// trace::export_chrome_json. Not part of the JSON report.
+  std::vector<trace::TraceBuffer> traces;
 };
 
 using TrialFn = std::function<TrialResult(const TrialSpec&)>;

@@ -5,6 +5,7 @@
 #include "sim/random.hpp"
 #include "soc/builder.hpp"
 #include "tmu/tmu.hpp"
+#include "trace/recorder.hpp"
 
 namespace campaign {
 
@@ -29,6 +30,11 @@ TrialResult run_fault_trial(const TrialSpec& spec) {
   }
   d.managers.front().seed = spec.seed;
   monitored->cfg = spec.cfg;
+  // Per-trial capture points ride the declarative traces mechanism, so
+  // they are validated (and hash-covered) exactly like desc-native ones.
+  for (const std::string& link : spec.trace_links) {
+    d.traces.push_back(soc::TraceDesc{"trace." + link, link});
+  }
 
   const std::unique_ptr<soc::Soc> soc = soc::SocBuilder::build(d);
   sim::Simulator& s = soc->sim();
@@ -105,6 +111,12 @@ TrialResult run_fault_trial(const TrialSpec& spec) {
     }
   }
   r.metrics.histograms["sched.dirty_depth"].merge(prof.dirty_depth);
+
+  // Captured streams, desc order (desc-native traces first, then the
+  // spec's trace_links — exactly the order appended above).
+  for (const soc::TraceDesc& td : d.traces) {
+    r.traces.push_back(soc->get<trace::Recorder>(td.name).take());
+  }
   return r;
 }
 

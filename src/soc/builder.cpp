@@ -40,6 +40,8 @@
 #include "soc/llc.hpp"
 #include "soc/reset_unit.hpp"
 #include "tmu/tmu.hpp"
+#include "trace/recorder.hpp"
+#include "trace/replay.hpp"
 
 namespace soc {
 
@@ -111,10 +113,15 @@ void SocBuilder::validate(const SocDesc& d) {
 
   for (const ManagerDesc& m : d.managers) {
     claim(m.name, "manager");
-    if (m.kind == ManagerKind::kDmaEngine && m.traffic.enabled) {
-      err("manager '" + m.name +
-          "' is a dma_engine but has random traffic enabled "
+    if (m.kind != ManagerKind::kTrafficGen && m.traffic.enabled) {
+      err("manager '" + m.name + "' is a " + to_string(m.kind) +
+          " but has random traffic enabled "
           "(only traffic_gen managers generate random traffic)");
+    }
+    if (m.kind != ManagerKind::kTraceReplay && !m.trace_path.empty()) {
+      err("manager '" + m.name + "' is a " + to_string(m.kind) +
+          " but carries a trace_path (only trace_replay managers replay "
+          "streams)");
     }
   }
   if (d.crossbar) claim(d.xbar_name, "crossbar");
@@ -273,10 +280,10 @@ void SocBuilder::validate(const SocDesc& d) {
     }
   }
 
-  // Probes: fresh block names, and each must target a link the builder
-  // will actually create (the naming scheme documented on soc::Soc,
-  // mirrored here over the whole cluster tree).
-  if (!d.probes.empty()) {
+  // Probes and traces: fresh block names, and each must target a link
+  // the builder will actually create (the naming scheme documented on
+  // soc::Soc, mirrored here over the whole cluster tree).
+  if (!d.probes.empty() || !d.traces.empty()) {
     std::set<std::string> link_names;
     for (const ManagerDesc& m : d.managers) link_names.insert(m.name + ".out");
     const std::function<void(const std::vector<SubordinateDesc>&,
@@ -295,13 +302,21 @@ void SocBuilder::validate(const SocDesc& d) {
           }
         };
     collect_links(d.subordinates, d.guards);
-    for (const ProbeDesc& p : d.probes) {
-      claim(p.name, "probe");
-      if (link_names.count(p.link) == 0) {
-        err("probe '" + p.name + "' references unknown link '" + p.link +
-            "' (valid names: \"<manager>.out\", \"<block>.in\", "
+    const auto check_link = [&](const char* what, const std::string& name,
+                                const std::string& link) {
+      if (link_names.count(link) == 0) {
+        err(std::string(what) + " '" + name + "' references unknown link '" +
+            link + "' (valid names: \"<manager>.out\", \"<block>.in\", "
             "\"<cluster>.down\")");
       }
+    };
+    for (const ProbeDesc& p : d.probes) {
+      claim(p.name, "probe");
+      check_link("probe", p.name, p.link);
+    }
+    for (const TraceDesc& t : d.traces) {
+      claim(t.name, "trace");
+      check_link("trace", t.name, t.link);
     }
   }
 }
@@ -329,10 +344,17 @@ std::unique_ptr<Soc> SocBuilder::build(const SocDesc& desc) {
   for (const ManagerDesc& m : d.managers) {
     axi::Link& l = mk_link(m.name + ".out");
     mgr_ports.push_back(&l);
-    if (m.kind == ManagerKind::kTrafficGen) {
-      add(std::make_unique<axi::TrafficGenerator>(m.name, l, m.seed));
-    } else {
-      add(std::make_unique<IdmaEngine>(m.name, l, m.dma_max_burst, m.dma_id));
+    switch (m.kind) {
+      case ManagerKind::kTrafficGen:
+        add(std::make_unique<axi::TrafficGenerator>(m.name, l, m.seed));
+        break;
+      case ManagerKind::kDmaEngine:
+        add(std::make_unique<IdmaEngine>(m.name, l, m.dma_max_burst,
+                                         m.dma_id));
+        break;
+      case ManagerKind::kTraceReplay:
+        add(std::make_unique<trace::TraceTrafficGen>(m.name, l));
+        break;
     }
   }
 
@@ -483,6 +505,18 @@ std::unique_ptr<Soc> SocBuilder::build(const SocDesc& desc) {
                                             soc->metrics_));
   }
 
+  // 7. Trace capture points, in declaration order — appended after the
+  // probes for the same reason: recorders never drive wires, so the
+  // functional netlist's registration order stays cycle-exact. Buffers
+  // are stamped with the desc hash (traces section included), which is
+  // what ties a trace file back to the topology it was captured on.
+  for (const TraceDesc& t : d.traces) {
+    add(std::make_unique<trace::Recorder>(t.name, t.link, soc->link(t.link),
+                                          d.hash(),
+                                          trace::Recorder::kDefaultCapacity,
+                                          &soc->metrics_));
+  }
+
   // Register everything in construction order, reset, and apply the
   // managers' initial traffic modes (post-reset, like testbench code).
   for (const auto& m : soc->modules_) soc->sim_.add(*m);
@@ -490,6 +524,16 @@ std::unique_ptr<Soc> SocBuilder::build(const SocDesc& desc) {
   for (const ManagerDesc& m : d.managers) {
     if (m.kind == ManagerKind::kTrafficGen && m.traffic.enabled) {
       soc->get<axi::TrafficGenerator>(m.name).set_random(m.traffic);
+    }
+    if (m.kind == ManagerKind::kTraceReplay && !m.trace_path.empty()) {
+      try {
+        soc->get<trace::TraceTrafficGen>(m.name).set_stream(
+            trace::read_trace_file(m.trace_path));
+      } catch (const std::runtime_error& e) {
+        throw std::invalid_argument("SocDesc '" + d.name + "': manager '" +
+                                    m.name + "' trace_path failed to load: " +
+                                    e.what());
+      }
     }
   }
   return soc;

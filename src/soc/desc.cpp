@@ -3,24 +3,21 @@
 // The emitter writes every field in a fixed order, so the document is
 // canonical: equal descs serialize byte-identically and hash() — FNV-1a
 // over the document — is a stable cross-process topology fingerprint
-// covering the whole cluster tree. The parser is a dependency-free
-// recursive-descent JSON reader; it rejects unknown keys (typos in
+// covering the whole cluster tree. Parsing rides the shared strict
+// reader in sim/jsonparse.hpp; it rejects unknown keys (typos in
 // hand-written topologies should fail loudly, not silently fall back to
 // defaults) and reports the offending key in every error. Legacy v1
-// documents (flat, no bridges/banks) parse unchanged: the keys v2 added
-// are optional with flat defaults.
+// documents (flat, no bridges/banks) parse unchanged: the keys later
+// schema revisions added are optional with flat defaults.
 
 #include "soc/desc.hpp"
 
-#include <cctype>
-#include <cerrno>
 #include <cinttypes>
-#include <cstdlib>
-#include <limits>
 #include <stdexcept>
 #include <utility>
 
 #include "sim/jsonfmt.hpp"
+#include "sim/jsonparse.hpp"
 
 namespace soc {
 
@@ -261,251 +258,21 @@ void emit_sub(Emitter& e, const SubordinateDesc& s) {
 // Parsing
 // ------------------------------------------------------------------
 
-struct Json {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+using Json = sim::jsonparse::Json;
 
-  Kind kind = Kind::kNull;
-  bool b = false;
-  double num = 0.0;
-  std::uint64_t unum = 0;
-  bool is_unsigned = false;  ///< lexically a non-negative integer
-  std::string str;
-  std::vector<Json> arr;
-  std::vector<std::pair<std::string, Json>> obj;
-};
+/// Error prefix threaded through the shared reader, so every parse
+/// error — wherever it originates — reads "SocDesc::from_json: ...".
+constexpr const char* kErrPrefix = "SocDesc::from_json";
 
 [[noreturn]] void fail(const std::string& what) {
-  throw std::invalid_argument("SocDesc::from_json: " + what);
+  throw std::invalid_argument(std::string(kErrPrefix) + ": " + what);
 }
 
-class Parser {
+/// The shared strict reader bound to this module's error prefix.
+class ObjReader : public sim::jsonparse::ObjReader {
  public:
-  explicit Parser(const std::string& text) : p_(text.data()), end_(p_ + text.size()) {}
-
-  Json parse_document() {
-    Json v = parse_value();
-    skip_ws();
-    if (p_ != end_) fail("trailing characters after the document");
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (p_ != end_ && std::isspace(static_cast<unsigned char>(*p_))) ++p_;
-  }
-  char peek() {
-    skip_ws();
-    if (p_ == end_) fail("unexpected end of input");
-    return *p_;
-  }
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "', got '" + *p_ + "'");
-    ++p_;
-  }
-  bool consume(char c) {
-    skip_ws();
-    if (p_ != end_ && *p_ == c) {
-      ++p_;
-      return true;
-    }
-    return false;
-  }
-  bool consume_word(const char* w) {
-    const char* q = p_;
-    for (const char* c = w; *c != '\0'; ++c, ++q) {
-      if (q == end_ || *q != *c) return false;
-    }
-    p_ = q;
-    return true;
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (p_ == end_) fail("unterminated string");
-      char c = *p_++;
-      if (c == '"') return out;
-      if (c == '\\') {
-        if (p_ == end_) fail("unterminated escape");
-        char esc = *p_++;
-        switch (esc) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          case 'r': out += '\r'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'u': {
-            if (end_ - p_ < 4) fail("truncated \\u escape");
-            unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              code <<= 4;
-              char h = *p_++;
-              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-              else fail("bad \\u escape digit");
-            }
-            // The emitter only escapes control characters; anything else
-            // would need UTF-8 encoding, which desc fields never carry.
-            if (code > 0x7F) fail("non-ASCII \\u escape unsupported");
-            out += static_cast<char>(code);
-            break;
-          }
-          default: fail(std::string("unknown escape '\\") + esc + "'");
-        }
-      } else {
-        out += c;
-      }
-    }
-  }
-
-  Json parse_number() {
-    const char* start = p_;
-    if (p_ != end_ && *p_ == '-') ++p_;
-    bool integral = true;
-    while (p_ != end_ &&
-           (std::isdigit(static_cast<unsigned char>(*p_)) || *p_ == '.' ||
-            *p_ == 'e' || *p_ == 'E' || *p_ == '+' || *p_ == '-')) {
-      if (!std::isdigit(static_cast<unsigned char>(*p_))) integral = false;
-      ++p_;
-    }
-    const std::string tok(start, p_);
-    if (tok.empty() || tok == "-") fail("malformed number");
-    Json v;
-    v.kind = Json::Kind::kNumber;
-    v.num = std::strtod(tok.c_str(), nullptr);
-    if (integral && tok[0] != '-') {
-      // Full-precision uint64 path: seeds and addresses exceed the
-      // 53-bit double mantissa.
-      errno = 0;
-      v.unum = std::strtoull(tok.c_str(), nullptr, 10);
-      if (errno == ERANGE) fail("integer " + tok + " overflows 64 bits");
-      v.is_unsigned = true;
-    }
-    return v;
-  }
-
-  Json parse_value() {
-    const char c = peek();
-    Json v;
-    if (c == '{') {
-      ++p_;
-      v.kind = Json::Kind::kObject;
-      if (!consume('}')) {
-        do {
-          std::string key = (skip_ws(), parse_string());
-          expect(':');
-          v.obj.emplace_back(std::move(key), parse_value());
-        } while (consume(','));
-        expect('}');
-      }
-    } else if (c == '[') {
-      ++p_;
-      v.kind = Json::Kind::kArray;
-      if (!consume(']')) {
-        do {
-          v.arr.push_back(parse_value());
-        } while (consume(','));
-        expect(']');
-      }
-    } else if (c == '"') {
-      v.kind = Json::Kind::kString;
-      v.str = parse_string();
-    } else if (consume_word("true")) {
-      v.kind = Json::Kind::kBool;
-      v.b = true;
-    } else if (consume_word("false")) {
-      v.kind = Json::Kind::kBool;
-      v.b = false;
-    } else if (consume_word("null")) {
-      v.kind = Json::Kind::kNull;
-    } else {
-      v = parse_number();
-    }
-    return v;
-  }
-
-  const char* p_;
-  const char* end_;
-};
-
-/// Strict object reader: every key must be consumed exactly once; any
-/// leftover key is an error naming it. Missing keys keep field defaults.
-class ObjReader {
- public:
-  ObjReader(const Json& v, std::string where) : where_(std::move(where)) {
-    if (v.kind != Json::Kind::kObject) fail(where_ + ": expected an object");
-    for (const auto& [k, val] : v.obj) fields_.emplace_back(k, &val);
-    for (std::size_t i = 0; i < fields_.size(); ++i) {
-      for (std::size_t j = i + 1; j < fields_.size(); ++j) {
-        if (fields_[i].first == fields_[j].first) {
-          fail(where_ + ": duplicate key \"" + fields_[i].first + "\"");
-        }
-      }
-    }
-  }
-
-  const Json* take(const char* key) {
-    for (auto it = fields_.begin(); it != fields_.end(); ++it) {
-      if (it->first == key) {
-        const Json* v = it->second;
-        fields_.erase(it);
-        return v;
-      }
-    }
-    return nullptr;
-  }
-
-  void get(const char* key, std::string& out) {
-    if (const Json* v = take(key)) {
-      if (v->kind != Json::Kind::kString) fail(ctx(key) + " must be a string");
-      out = v->str;
-    }
-  }
-  void get(const char* key, bool& out) {
-    if (const Json* v = take(key)) {
-      if (v->kind != Json::Kind::kBool) fail(ctx(key) + " must be a bool");
-      out = v->b;
-    }
-  }
-  void get(const char* key, double& out) {
-    if (const Json* v = take(key)) {
-      if (v->kind != Json::Kind::kNumber) fail(ctx(key) + " must be a number");
-      out = v->num;
-    }
-  }
-  template <typename UInt>
-  void get_u(const char* key, UInt& out) {
-    if (const Json* v = take(key)) {
-      if (v->kind != Json::Kind::kNumber || !v->is_unsigned) {
-        fail(ctx(key) + " must be a non-negative integer");
-      }
-      if (v->unum > std::numeric_limits<UInt>::max()) {
-        fail(ctx(key) + ": " + std::to_string(v->unum) +
-             " does not fit the field (max " +
-             std::to_string(std::numeric_limits<UInt>::max()) + ")");
-      }
-      out = static_cast<UInt>(v->unum);
-    }
-  }
-
-  /// Call last: rejects unconsumed (unknown) keys.
-  void finish() {
-    if (!fields_.empty()) {
-      fail(where_ + ": unknown key \"" + fields_.front().first + "\"");
-    }
-  }
-
-  std::string ctx(const char* key) const { return where_ + "." + key; }
-  const std::string& where() const { return where_; }
-
- private:
-  std::string where_;
-  std::vector<std::pair<std::string, const Json*>> fields_;
+  ObjReader(const Json& v, std::string where)
+      : sim::jsonparse::ObjReader(v, std::move(where), kErrPrefix) {}
 };
 
 void parse_traffic(const Json& v, const std::string& where,
@@ -721,6 +488,7 @@ std::string SocDesc::to_json() const {
     emit_traffic(e, "traffic", m.traffic);
     e.u64("dma_max_burst", m.dma_max_burst);
     e.u64("dma_id", m.dma_id);
+    e.str("trace_path", m.trace_path);
     e.close_obj();
   }
   e.close_arr();
@@ -738,6 +506,14 @@ std::string SocDesc::to_json() const {
     e.close_obj();
   }
   e.close_arr();
+  e.open_arr("traces");
+  for (const TraceDesc& t : traces) {
+    e.open_obj();
+    e.str("name", t.name);
+    e.str("link", t.link);
+    e.close_obj();
+  }
+  e.close_arr();
   e.open_obj("recovery");
   e.boolean("enabled", recovery.enabled);
   e.str("plic", recovery.plic);
@@ -751,7 +527,7 @@ std::string SocDesc::to_json() const {
 }
 
 SocDesc SocDesc::from_json(const std::string& json) {
-  const Json doc = Parser(json).parse_document();
+  const Json doc = sim::jsonparse::parse(json, kErrPrefix);
   SocDesc d;
   ObjReader r(doc, "desc");
 
@@ -798,6 +574,8 @@ SocDesc SocDesc::from_json(const std::string& json) {
         m.kind = ManagerKind::kTrafficGen;
       } else if (kind == "dma_engine") {
         m.kind = ManagerKind::kDmaEngine;
+      } else if (kind == "trace_replay") {
+        m.kind = ManagerKind::kTraceReplay;
       } else {
         fail(where + ".kind: unknown manager kind \"" + kind + "\"");
       }
@@ -807,6 +585,7 @@ SocDesc SocDesc::from_json(const std::string& json) {
       }
       rm.get_u("dma_max_burst", m.dma_max_burst);
       rm.get_u("dma_id", m.dma_id);
+      rm.get("trace_path", m.trace_path);
       rm.finish();
       d.managers.push_back(std::move(m));
     }
@@ -840,6 +619,19 @@ SocDesc SocDesc::from_json(const std::string& json) {
       rp.get("link", p.link);
       rp.finish();
       d.probes.push_back(std::move(p));
+    }
+  }
+
+  if (const Json* arr = r.take("traces")) {
+    if (arr->kind != Json::Kind::kArray) fail("desc.traces must be an array");
+    for (std::size_t i = 0; i < arr->arr.size(); ++i) {
+      const std::string where = "desc.traces[" + std::to_string(i) + "]";
+      TraceDesc t;
+      ObjReader rt(arr->arr[i], where);
+      rt.get("name", t.name);
+      rt.get("link", t.link);
+      rt.finish();
+      d.traces.push_back(std::move(t));
     }
   }
 

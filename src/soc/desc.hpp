@@ -24,8 +24,9 @@ inline constexpr const char* kSocDescSchemaV1 = "tmu-soc-desc-v1";
 
 /// What kind of AXI manager a ManagerDesc elaborates to.
 enum class ManagerKind : std::uint8_t {
-  kTrafficGen,  ///< axi::TrafficGenerator (queued or random traffic)
-  kDmaEngine,   ///< soc::IdmaEngine (descriptor-based mover)
+  kTrafficGen,   ///< axi::TrafficGenerator (queued or random traffic)
+  kDmaEngine,    ///< soc::IdmaEngine (descriptor-based mover)
+  kTraceReplay,  ///< trace::TraceTrafficGen (replays a recorded stream)
 };
 
 /// What kind of endpoint a SubordinateDesc elaborates to.
@@ -36,7 +37,12 @@ enum class SubordinateKind : std::uint8_t {
 };
 
 inline const char* to_string(ManagerKind k) {
-  return k == ManagerKind::kTrafficGen ? "traffic_gen" : "dma_engine";
+  switch (k) {
+    case ManagerKind::kTrafficGen: return "traffic_gen";
+    case ManagerKind::kDmaEngine: return "dma_engine";
+    case ManagerKind::kTraceReplay: return "trace_replay";
+  }
+  return "traffic_gen";
 }
 inline const char* to_string(SubordinateKind k) {
   switch (k) {
@@ -63,6 +69,11 @@ struct ManagerDesc {
   // kDmaEngine parameters (see soc::IdmaEngine).
   std::uint8_t dma_max_burst = 16;
   axi::Id dma_id = 0xD;
+
+  // kTraceReplay: optional tmu-axi-trace-v1 file the builder loads into
+  // the replayer after the post-build reset. Empty = testbench code
+  // installs the stream itself via TraceTrafficGen::set_stream.
+  std::string trace_path;
 
   bool operator==(const ManagerDesc&) const = default;
 };
@@ -160,6 +171,19 @@ struct ProbeDesc {
   bool operator==(const ProbeDesc&) const = default;
 };
 
+/// One declarative AXI capture point: a trace::Recorder attached to a
+/// named link, filling a tmu-axi-trace-v1 stream (read back after the
+/// run through Soc::get<trace::Recorder>). `link` follows the same
+/// naming scheme as ProbeDesc::link and is validated the same way.
+/// Like probes, traces are hash-covered: a recorded trace carries the
+/// hash of the *recording* topology, traces section included.
+struct TraceDesc {
+  std::string name;  ///< recorder module name = metrics prefix
+  std::string link;  ///< builder link name to capture
+
+  bool operator==(const TraceDesc&) const = default;
+};
+
 /// The software side of the recovery loop: a PLIC-lite collecting every
 /// guard's irq (in guard declaration order) and a CPU recovery stub
 /// servicing them.
@@ -196,6 +220,7 @@ struct SocDesc {
   std::vector<SubordinateDesc> subordinates;
   std::vector<GuardDesc> guards;
   std::vector<ProbeDesc> probes;  ///< per-link observability probes
+  std::vector<TraceDesc> traces;  ///< per-link AXI capture points
   RecoveryDesc recovery{};
 
   bool operator==(const SocDesc&) const = default;

@@ -64,7 +64,16 @@ bool Tmu::irq_state_() const {
   return cfg_.irq_enabled && irq_latched_;
 }
 
+void Tmu::log_lifecycle(LifecycleEvent::Kind k) {
+  if (lifecycle_log_.size() < kLifecycleDepth) {
+    lifecycle_log_.push_back(LifecycleEvent{cycle_, k});
+  } else {
+    ++lifecycle_dropped_;
+  }
+}
+
 void Tmu::enter_severed() {
+  log_lifecycle(LifecycleEvent::Kind::kSever);
   severed_ = true;
   ack_seen_ = false;
   undrained_beats_ = 0;
@@ -88,7 +97,10 @@ void Tmu::enter_severed() {
     const unsigned total = axi::beats(e.len);
     abort_r_.push_back(AbortR{e.orig_id, total - std::min(e.beats, total - 1)});
   }
-  if (cfg_.reset_on_fault) ++resets_requested_;
+  if (cfg_.reset_on_fault) {
+    ++resets_requested_;
+    log_lifecycle(LifecycleEvent::Kind::kResetReq);
+  }
 }
 
 void Tmu::finish_recovery() {
@@ -100,6 +112,7 @@ void Tmu::finish_recovery() {
   undrained_beats_ = 0;
   w_idle_cycles_ = 0;
   ++recoveries_;
+  log_lifecycle(LifecycleEvent::Kind::kRecover);
   // Level IRQ stays asserted until software clears it (clear_irq), which
   // matches the paper's interrupt-driven recovery routine.
 }
@@ -178,6 +191,7 @@ void Tmu::tick() {
     wg_.faults().clear();
     rg_.faults().clear();
     irq_latched_ = true;
+    log_lifecycle(LifecycleEvent::Kind::kDetect);
     enter_severed();
   }
 
@@ -199,6 +213,8 @@ void Tmu::reset() {
   swallow_beats_ = 0;
   fault_log_.clear();
   fault_log_dropped_ = 0;
+  lifecycle_log_.clear();
+  lifecycle_dropped_ = 0;
   resets_requested_ = 0;
   recoveries_ = 0;
   cycle_ = 0;

@@ -14,6 +14,29 @@
 
 namespace tmu {
 
+/// One timestamped TMU state transition, for timeline tooling
+/// (trace::export_chrome_json renders these as instant events). Kept in
+/// a small bounded log besides the fault log: the fault log is the
+/// paper's per-violation hardware FIFO, this is the detect → sever →
+/// reset-request → recover arc of each incident.
+struct LifecycleEvent {
+  enum class Kind : std::uint8_t { kDetect, kSever, kResetReq, kRecover };
+  std::uint64_t cycle = 0;
+  Kind kind = Kind::kDetect;
+
+  bool operator==(const LifecycleEvent&) const = default;
+};
+
+inline const char* to_string(LifecycleEvent::Kind k) {
+  switch (k) {
+    case LifecycleEvent::Kind::kDetect: return "detect";
+    case LifecycleEvent::Kind::kSever: return "sever";
+    case LifecycleEvent::Kind::kResetReq: return "reset_req";
+    case LifecycleEvent::Kind::kRecover: return "recover";
+  }
+  return "?";
+}
+
 /// Transaction Monitoring Unit: the paper's drop-in monitor between the
 /// AXI4 interconnect (manager side, `mst` link) and a subordinate
 /// endpoint (`sub` link).
@@ -56,6 +79,13 @@ class Tmu : public sim::Module {
   /// First-fault convenience: cycle of the first logged fault.
   bool any_fault() const { return !fault_log_.empty(); }
 
+  /// Timestamped detect/sever/reset-request/recover transitions, for
+  /// timeline export. Bounded like the fault log.
+  const std::vector<LifecycleEvent>& lifecycle_log() const {
+    return lifecycle_log_;
+  }
+  std::uint64_t lifecycle_log_dropped() const { return lifecycle_dropped_; }
+
   // ---- monitoring state ----
   WriteGuard& write_guard() { return wg_; }
   const WriteGuard& write_guard() const { return wg_; }
@@ -89,6 +119,7 @@ class Tmu : public sim::Module {
   void enter_severed();
   void finish_recovery();
   bool irq_state_() const;
+  void log_lifecycle(LifecycleEvent::Kind k);
 
   axi::Link& mst_;
   axi::Link& sub_;
@@ -105,8 +136,11 @@ class Tmu : public sim::Module {
   static constexpr std::uint32_t kDrainGrace = 64;
   unsigned swallow_beats_ = 0;     ///< post-recovery stray W beats to eat
 
+  static constexpr std::size_t kLifecycleDepth = 256;
   std::vector<FaultRecord> fault_log_;
   std::uint64_t fault_log_dropped_ = 0;
+  std::vector<LifecycleEvent> lifecycle_log_;
+  std::uint64_t lifecycle_dropped_ = 0;
   std::uint64_t resets_requested_ = 0;
   std::uint64_t recoveries_ = 0;
   std::uint64_t cycle_ = 0;

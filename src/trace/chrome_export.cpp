@@ -1,0 +1,238 @@
+// Chrome-trace-event rendering of tmu-axi-trace-v1 streams.
+//
+// The record stream is manager-side (presentations / retracts / B / R
+// fires); spans are reconstructed per link: exactly one presentation
+// can occupy an address channel at a time, so a new presentation proves
+// the previous one fired (a retract is explicit in the stream), and a
+// completion (B, or R with last) pairs with the oldest fired request of
+// its ID. Emission order is processing order, which Chrome/Perfetto
+// accept unsorted — and which makes the output deterministic.
+
+#include "trace/chrome_export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "sim/jsonfmt.hpp"
+#include "soc/builder.hpp"
+#include "tmu/tmu.hpp"
+#include "trace/recorder.hpp"
+
+namespace trace {
+
+namespace {
+
+using sim::jsonfmt::append_f;
+using sim::jsonfmt::json_escape;
+
+/// A presented request whose span is not closed yet. `start` can
+/// precede rec.cycle when a retracted presentation was re-issued.
+struct Open {
+  std::uint64_t start = 0;
+  TraceRecord rec;
+};
+
+bool same_request(const TraceRecord& a, const TraceRecord& b) {
+  return a.id == b.id && a.addr == b.addr && a.len == b.len &&
+         a.size == b.size && a.burst == b.burst;
+}
+
+struct Emitter {
+  std::string out;
+  bool first = true;
+  std::uint64_t next_span_id = 1;
+
+  void event_prefix() {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+  }
+
+  void process_name(int pid, const std::string& name) {
+    event_prefix();
+    append_f(out, "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,", pid);
+    out += "\"tid\":0,\"args\":{\"name\":\"" + json_escape(name) + "\"}}";
+  }
+
+  void span(int pid, const char* dir, const Open& o, std::uint64_t end,
+            std::uint8_t resp, const char* note) {
+    const std::uint64_t id = next_span_id++;
+    event_prefix();
+    append_f(out,
+             "{\"name\":\"%s id %" PRIu32
+             "\",\"cat\":\"axi\",\"ph\":\"b\",\"id\":%" PRIu64
+             ",\"pid\":%d,\"tid\":0,\"ts\":%" PRIu64
+             ",\"args\":{\"addr\":\"0x%" PRIx64
+             "\",\"len\":%u,\"size\":%u,\"burst\":%u}}",
+             dir, o.rec.id, id, pid, o.start, o.rec.addr, o.rec.len,
+             o.rec.size, o.rec.burst);
+    event_prefix();
+    append_f(out,
+             "{\"name\":\"%s id %" PRIu32
+             "\",\"cat\":\"axi\",\"ph\":\"e\",\"id\":%" PRIu64
+             ",\"pid\":%d,\"tid\":0,\"ts\":%" PRIu64 ",\"args\":{\"resp\":%u",
+             dir, o.rec.id, id, pid, end, resp);
+    if (note != nullptr) append_f(out, ",\"%s\":true", note);
+    out += "}}";
+  }
+
+  void instant(const ChromeInstant& i) {
+    event_prefix();
+    append_f(out, "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,"
+                  "\"tid\":0,\"ts\":%" PRIu64 "}",
+             json_escape(i.name).c_str(), i.cycle);
+  }
+
+  void counter(const ChromeCounterSample& c) {
+    event_prefix();
+    append_f(out, "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":0,\"ts\":%" PRIu64
+                  ",\"args\":{\"value\":%" PRIu64 "}}",
+             json_escape(c.track).c_str(), c.cycle, c.value);
+  }
+};
+
+/// Per-address-channel reconstruction state (one for AW, one for AR).
+struct ChannelState {
+  std::optional<Open> pending;    ///< presented; fire not yet proven
+  std::optional<Open> retracted;  ///< withdrawn; may be re-presented
+  std::uint64_t retract_cycle = 0;
+  std::map<std::uint32_t, std::deque<Open>> issued;  ///< fired, awaiting done
+
+  void present(const TraceRecord& r, Emitter& em, int pid, const char* dir) {
+    if (pending) {
+      // The channel freed without a retract record: the request fired.
+      issued[pending->rec.id].push_back(*pending);
+      pending.reset();
+    }
+    Open o{r.cycle, r};
+    if (retracted) {
+      if (same_request(retracted->rec, r)) {
+        o.start = retracted->start;  // re-issue: one logical transaction
+      } else {
+        // The withdrawn request is dead — render its lifetime.
+        em.span(pid, dir, *retracted, retract_cycle, 0, "retracted");
+      }
+      retracted.reset();
+    }
+    pending = o;
+  }
+
+  void retract(const TraceRecord& r, Emitter& em, int pid, const char* dir) {
+    if (retracted) {
+      em.span(pid, dir, *retracted, retract_cycle, 0, "retracted");
+      retracted.reset();
+    }
+    if (pending) {
+      retracted = *pending;
+      retract_cycle = r.cycle;
+      pending.reset();
+    }
+  }
+
+  void complete(std::uint32_t id, std::uint64_t cycle, std::uint8_t resp,
+                Emitter& em, int pid, const char* dir) {
+    const auto it = issued.find(id);
+    if (it != issued.end() && !it->second.empty()) {
+      em.span(pid, dir, it->second.front(), cycle, resp, nullptr);
+      it->second.pop_front();
+      return;
+    }
+    if (pending && pending->rec.id == id) {
+      // Completion proves the pending presentation fired.
+      em.span(pid, dir, *pending, cycle, resp, nullptr);
+      pending.reset();
+      return;
+    }
+    // Orphan completion: the stream starts mid-transaction (e.g. a
+    // capacity-truncated capture replayed as a prefix). Nothing to pair.
+  }
+
+  void flush(std::uint64_t end_cycle, Emitter& em, int pid, const char* dir) {
+    if (retracted) em.span(pid, dir, *retracted, retract_cycle, 0, "retracted");
+    if (pending) em.span(pid, dir, *pending, end_cycle, 0, "truncated");
+    for (const auto& [id, q] : issued) {  // std::map: id order, stable
+      for (const Open& o : q) em.span(pid, dir, o, end_cycle, 0, "truncated");
+    }
+  }
+};
+
+void render_link(const TraceBuffer& buf, int pid, std::uint64_t end_cycle,
+                 Emitter& em) {
+  em.process_name(pid, "link:" + buf.link);
+  ChannelState writes, reads;
+  for (const TraceRecord& r : buf.records) {
+    switch (r.ch) {
+      case Channel::kAw:
+        if (r.retract) {
+          writes.retract(r, em, pid, "write");
+        } else {
+          writes.present(r, em, pid, "write");
+        }
+        break;
+      case Channel::kAr:
+        if (r.retract) {
+          reads.retract(r, em, pid, "read");
+        } else {
+          reads.present(r, em, pid, "read");
+        }
+        break;
+      case Channel::kB:
+        writes.complete(r.id, r.cycle, r.resp, em, pid, "write");
+        break;
+      case Channel::kR:
+        if (r.last) reads.complete(r.id, r.cycle, r.resp, em, pid, "read");
+        break;
+      case Channel::kW:
+        break;  // data beats carry no span boundary
+    }
+  }
+  writes.flush(end_cycle, em, pid, "write");
+  reads.flush(end_cycle, em, pid, "read");
+}
+
+}  // namespace
+
+std::string export_chrome_json(const ChromeTraceInput& in) {
+  Emitter em;
+  em.out = "{\n  \"traceEvents\": [";
+  em.process_name(0, "soc");
+  int pid = 1;
+  for (const TraceBuffer* buf : in.links) {
+    if (buf != nullptr) render_link(*buf, pid, in.end_cycle, em);
+    ++pid;
+  }
+  for (const ChromeInstant& i : in.instants) em.instant(i);
+  for (const ChromeCounterSample& c : in.counters) em.counter(c);
+  em.out += "\n  ]\n}\n";
+  return em.out;
+}
+
+std::string export_chrome_json(soc::Soc& soc) {
+  ChromeTraceInput in;
+  in.end_cycle = soc.sim().cycle();
+  for (const std::string& name : soc.block_names()) {
+    sim::Module* m = soc.find(name);
+    if (auto* rec = dynamic_cast<Recorder*>(m)) {
+      in.links.push_back(&rec->buffer());
+    }
+    if (auto* t = dynamic_cast<tmu::Tmu*>(m)) {
+      for (const tmu::LifecycleEvent& e : t->lifecycle_log()) {
+        in.instants.push_back(
+            ChromeInstant{name + ": " + tmu::to_string(e.kind), e.cycle});
+      }
+    }
+  }
+  std::stable_sort(in.instants.begin(), in.instants.end(),
+                   [](const ChromeInstant& a, const ChromeInstant& b) {
+                     return a.cycle < b.cycle;
+                   });
+  for (const sim::sched::ModuleProfile& mp : soc.sim().sched_profile().modules) {
+    in.counters.push_back(
+        ChromeCounterSample{"evals." + mp.name, in.end_cycle, mp.evals});
+  }
+  return export_chrome_json(in);
+}
+
+}  // namespace trace

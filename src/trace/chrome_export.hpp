@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/format.hpp"
+
+namespace soc {
+class Soc;
+}
+
+namespace trace {
+
+/// A named point event on the shared timeline (rendered as a Perfetto
+/// instant): TMU lifecycle transitions use these.
+struct ChromeInstant {
+  std::string name;
+  std::uint64_t cycle = 0;
+};
+
+/// One sample of a counter track (rendered as a Perfetto counter).
+struct ChromeCounterSample {
+  std::string track;
+  std::uint64_t cycle = 0;
+  std::uint64_t value = 0;
+};
+
+/// Everything export_chrome_json renders. `links` are captured record
+/// streams (one Perfetto "process" per entry, in order); `end_cycle`
+/// closes still-open transactions (flagged "truncated") and stamps the
+/// counter samples' upper bound.
+struct ChromeTraceInput {
+  std::vector<const TraceBuffer*> links;
+  std::vector<ChromeInstant> instants;
+  std::vector<ChromeCounterSample> counters;
+  std::uint64_t end_cycle = 0;
+};
+
+/// Renders the input as a Chrome-trace-event JSON document (the
+/// `{"traceEvents": [...]}` object form), loadable in Perfetto or
+/// chrome://tracing. One cycle = 1 µs of trace time, so the timeline
+/// reads directly in cycles.
+///
+/// Per link, each write (AW presentation → matching B fire) and read
+/// (AR presentation → matching R-last fire) becomes an async span named
+/// by direction and AXI ID; a retracted-then-re-presented request keeps
+/// its original start cycle, so the span covers the whole time the
+/// manager wanted the transaction. Transactions still open at
+/// `end_cycle` are closed there with a `"truncated": true` argument.
+/// Output is deterministic: same input, byte-identical JSON.
+std::string export_chrome_json(const ChromeTraceInput& in);
+
+/// Convenience: harvests a built Soc — every trace::Recorder's buffer
+/// (registration order), every tmu::Tmu's lifecycle log as instants,
+/// and the scheduler profile's per-module eval counts as one counter
+/// sample each at the current cycle — then renders it.
+std::string export_chrome_json(soc::Soc& soc);
+
+}  // namespace trace

@@ -4,6 +4,7 @@
 #include "axi/memory.hpp"
 #include "axi/tracer.hpp"
 #include "axi/traffic_gen.hpp"
+#include "obs/metrics.hpp"
 #include "sim/kernel.hpp"
 
 namespace {
@@ -79,6 +80,55 @@ TEST_F(TracerFixture, CapacityBoundsAndDropCount) {
   ASSERT_TRUE(s2.run_until([&] { return g2.completed() >= 1; }, 300));
   EXPECT_EQ(small.events().size(), 4u);
   EXPECT_GT(small.drop_count(), 0u);
+}
+
+TEST_F(TracerFixture, PublishesCountersIntoTheRegistry) {
+  Link l2;
+  TrafficGenerator g2("g2", l2);
+  MemorySubordinate m2("m2", l2);
+  obs::MetricsRegistry reg;
+  Tracer obs_trace("bus", l2, reg);
+  sim::Simulator s2;
+  s2.add(g2);
+  s2.add(m2);
+  s2.add(obs_trace);
+  s2.reset();
+  g2.push(TxnDesc{true, 3, 0x100, 3, 3, Burst::kIncr});
+  g2.push(TxnDesc{false, 1, 0x40, 7, 3, Burst::kIncr});
+  ASSERT_TRUE(s2.run_until([&] { return g2.completed() >= 2; }, 400));
+
+  // The registry mirrors the in-memory log, per kind.
+  EXPECT_EQ(reg.counter("bus.events").value(), obs_trace.events().size());
+  EXPECT_EQ(reg.counter("bus.aw").value(), 1u);
+  EXPECT_EQ(reg.counter("bus.w").value(), 4u);
+  EXPECT_EQ(reg.counter("bus.b").value(), 1u);
+  EXPECT_EQ(reg.counter("bus.ar").value(), 1u);
+  EXPECT_EQ(reg.counter("bus.r").value(), 8u);
+  EXPECT_EQ(reg.counter("bus.dropped").value(), 0u);
+}
+
+TEST_F(TracerFixture, RegistryCountsDropsWhenTheLogOverflows) {
+  Link l2;
+  TrafficGenerator g2("g2", l2);
+  MemorySubordinate m2("m2", l2);
+  obs::MetricsRegistry reg;
+  Tracer small("small", l2, reg, /*capacity=*/4);
+  sim::Simulator s2;
+  s2.add(g2);
+  s2.add(m2);
+  s2.add(small);
+  s2.reset();
+  g2.push(TxnDesc{true, 0, 0x0, 15, 3, Burst::kIncr});
+  ASSERT_TRUE(s2.run_until([&] { return g2.completed() >= 1; }, 300));
+  EXPECT_EQ(reg.counter("small.dropped").value(), small.drop_count());
+  EXPECT_GT(small.drop_count(), 0u);
+  // Dropped events are not double-counted as captured.
+  EXPECT_EQ(reg.counter("small.events").value(), 4u);
+  // reset() clears the capture but not the registry slots (the
+  // registry owner picks snapshot boundaries, like LatencyProbe).
+  s2.reset();
+  EXPECT_TRUE(small.events().empty());
+  EXPECT_EQ(reg.counter("small.events").value(), 4u);
 }
 
 TEST_F(TracerFixture, DescribeFormats) {

@@ -87,6 +87,32 @@ TEST_F(ObsCampaign, ReportCarriesProbeAndProfileMetrics) {
   EXPECT_NE(json.find("\"sched.dirty_depth\""), std::string::npos);
 }
 
+TEST_F(ObsCampaign, TrialsCaptureRequestedTraceLinks) {
+  campaign::TrialSpec spec;
+  spec.seed = 7;
+  spec.traffic.enabled = true;
+  spec.trace_links = {"gen.out", "mem.in"};
+  const campaign::TrialResult r = campaign::run_fault_trial(spec);
+  // One captured stream per requested link, in order, tagged with the
+  // link and the hash of the (trace-augmented) recording topology.
+  ASSERT_EQ(r.traces.size(), 2u);
+  EXPECT_EQ(r.traces[0].link, "gen.out");
+  EXPECT_EQ(r.traces[1].link, "mem.in");
+  EXPECT_GT(r.traces[0].records.size(), 0u);
+  EXPECT_NE(r.traces[0].topology_hash, spec.desc.hash());
+
+  // Desc-native traces come first; the registry carries the recorders'
+  // capture-health counters either way.
+  campaign::TrialSpec spec2 = spec;
+  spec2.desc.traces.push_back({"native", "tmu.in"});
+  const campaign::TrialResult r2 = campaign::run_fault_trial(spec2);
+  ASSERT_EQ(r2.traces.size(), 3u);
+  EXPECT_EQ(r2.traces[0].link, "tmu.in");
+  EXPECT_EQ(r2.traces[1].link, "gen.out");
+  EXPECT_GT(r2.metrics.counters.at("native.records"), 0u);
+  EXPECT_EQ(r2.metrics.counters.at("native.dropped"), 0u);
+}
+
 TEST_F(ObsCampaign, ReportIsByteIdenticalAcrossThreadCounts) {
   const auto scenarios = probed_campaign(8);
   campaign::Engine one({1, 0xF00Dull});

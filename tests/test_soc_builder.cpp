@@ -191,6 +191,50 @@ TEST(SocBuilderValidation, ProbesTargetRealLinksWithFreshNames) {
   expect_invalid(clash, "duplicate block name 'mem1'");
 }
 
+TEST(SocBuilderValidation, TracesValidateLikeProbes) {
+  SocDesc d = nested_desc();
+  d.traces.push_back({"t0", "gen.out"});
+  d.traces.push_back({"t1", "cl.down"});
+  d.traces.push_back({"t2", "leaf0.in"});
+  EXPECT_NO_THROW(SocBuilder::validate(d));
+
+  SocDesc bad = base_desc();
+  bad.traces.push_back({"t0", "mem9.in"});
+  expect_invalid(bad, "trace 't0' references unknown link 'mem9.in'");
+
+  SocDesc clash = base_desc();
+  clash.traces.push_back({"mem0", "gen.out"});
+  expect_invalid(clash, "duplicate block name 'mem0'");
+}
+
+TEST(SocBuilderValidation, TraceReplayManagerWiring) {
+  // trace_path is a replay-only knob...
+  SocDesc d = base_desc();
+  d.managers[0].trace_path = "stream.axitrace";
+  expect_invalid(d, "carries a trace_path");
+
+  // ...and replay managers cannot also generate random traffic.
+  SocDesc d2 = base_desc();
+  d2.managers[0].kind = soc::ManagerKind::kTraceReplay;
+  d2.managers[0].traffic.enabled = true;
+  expect_invalid(d2, "is a trace_replay but has random traffic enabled");
+
+  // A bad trace_path fails at build (elaboration loads the file),
+  // naming the desc, the manager and the underlying reader error.
+  SocDesc d3 = base_desc();
+  d3.managers[0].kind = soc::ManagerKind::kTraceReplay;
+  d3.managers[0].trace_path = "/nonexistent/stream.axitrace";
+  EXPECT_NO_THROW(SocBuilder::validate(d3));
+  try {
+    SocBuilder::build(d3);
+    FAIL() << "expected trace_path load failure";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("trace_path failed to load"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("gen"), std::string::npos) << msg;
+  }
+}
+
 TEST(SocBuilderValidation, AcceptsTheHierarchicalTopologies) {
   EXPECT_NO_THROW(SocBuilder::validate(nested_desc()));
   EXPECT_NO_THROW(SocBuilder::validate(soc::hierarchical_desc({})));

@@ -143,6 +143,22 @@ SocDesc random_desc(std::uint64_t seed) {
     d.recovery.enabled = true;
     d.recovery.handler_latency = static_cast<std::uint32_t>(rng.range(1, 64));
   }
+  // Capture points (drawn after everything else so the cluster-shape
+  // stream above is unperturbed), and sometimes a replay manager with a
+  // pinned stream path.
+  for (std::size_t i = 0; i < n_mgr; ++i) {
+    if (rng.chance(0.3)) {
+      d.traces.push_back(
+          {name_of("t", uid++), d.managers[i].name + ".out"});
+    }
+  }
+  if (rng.chance(0.3)) {
+    ManagerDesc rm;
+    rm.name = name_of("rp", uid++);
+    rm.kind = soc::ManagerKind::kTraceReplay;
+    rm.trace_path = name_of("stream", uid++) + ".axitrace";
+    d.managers.push_back(std::move(rm));
+  }
   return d;
 }
 
@@ -221,6 +237,24 @@ TEST(SocDescRoundTrip, HashCoversNestedClusterFields) {
   });
   expect_hash_sensitive(with_probe, "probe link", [](SocDesc& m) {
     m.probes[0].link = "cpu0.out";
+  });
+  // Traces are hash-covered the same way — a replayed stream can tell
+  // whether it is being driven into the topology it was recorded on.
+  expect_hash_sensitive(d, "trace added", [](SocDesc& m) {
+    m.traces.push_back({"cap0", "dram.in"});
+  });
+  SocDesc with_trace = d;
+  with_trace.traces.push_back({"cap0", "dram.in"});
+  expect_hash_sensitive(with_trace, "trace name", [](SocDesc& m) {
+    m.traces[0].name = "cap1";
+  });
+  expect_hash_sensitive(with_trace, "trace link", [](SocDesc& m) {
+    m.traces[0].link = "cpu0.out";
+  });
+  SocDesc replayer = d;
+  replayer.managers[0].kind = soc::ManagerKind::kTraceReplay;
+  expect_hash_sensitive(replayer, "manager trace_path", [](SocDesc& m) {
+    m.managers[0].trace_path = "pinned.axitrace";
   });
 }
 

@@ -1,0 +1,227 @@
+// Chrome-trace-event export: the JSON must parse under the project's
+// own strict reader, be byte-deterministic, pair every async "b" with
+// its "e" (same id/pid/cat), mark retracted and truncated spans, and
+// carry TMU lifecycle instants + scheduler counter tracks when exported
+// straight from a Soc.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "sim/jsonparse.hpp"
+#include "soc/builder.hpp"
+#include "soc/topologies.hpp"
+#include "tmu/tmu.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/format.hpp"
+#include "trace/recorder.hpp"
+
+namespace {
+
+using namespace trace;
+using sim::jsonparse::Json;
+
+TraceRecord aw(std::uint64_t cycle, std::uint32_t id, std::uint64_t addr) {
+  return TraceRecord{cycle, Channel::kAw, false, id, addr, 0, 3, 3, 1,
+                     0, 0, false};
+}
+TraceRecord b(std::uint64_t cycle, std::uint32_t id) {
+  return TraceRecord{cycle, Channel::kB, false, id};
+}
+TraceRecord ar(std::uint64_t cycle, std::uint32_t id, std::uint64_t addr) {
+  return TraceRecord{cycle, Channel::kAr, false, id, addr, 0, 0, 3, 1,
+                     0, 0, false};
+}
+TraceRecord r_last(std::uint64_t cycle, std::uint32_t id) {
+  return TraceRecord{cycle, Channel::kR, false, id, 0, 0, 0, 0, 0,
+                     0, 0, true};
+}
+TraceRecord retract(std::uint64_t cycle, Channel ch) {
+  return TraceRecord{cycle, ch, true};
+}
+
+/// Json objects are key-ordered vectors; linear lookup is the reader.
+const Json* get(const Json& o, const char* key) {
+  for (const auto& [k, v] : o.obj) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& field(const Json& ev, const char* key) {
+  const Json* v = get(ev, key);
+  EXPECT_NE(v, nullptr) << "missing field " << key;
+  static const Json null{};
+  return v != nullptr ? *v : null;
+}
+
+/// Parses with the strict project reader and returns the traceEvents
+/// array (the export must be a single-top-level-object document).
+std::vector<Json> trace_events(const std::string& json) {
+  const Json doc = sim::jsonparse::parse(json, "chrome-export-test");
+  const Json* evs = get(doc, "traceEvents");
+  EXPECT_NE(evs, nullptr);
+  return evs != nullptr ? evs->arr : std::vector<Json>{};
+}
+
+TEST(ChromeExport, PairsSpansAndMarksRetractsAndTruncation) {
+  TraceBuffer buf;
+  buf.link = "gen.out";
+  buf.records = {
+      aw(2, 1, 0x100),               // completes at cycle 6
+      ar(3, 2, 0x200),               // retracted at 5, re-issued at 8
+      retract(5, Channel::kAr),
+      b(6, 1),
+      ar(8, 2, 0x200),               // same payload: span keeps start 3
+      r_last(10, 2),
+      ar(12, 4, 0x300),              // never completes: truncated
+  };
+  ChromeTraceInput in;
+  in.links = {&buf};
+  in.end_cycle = 20;
+  const std::string json = export_chrome_json(in);
+  const std::vector<Json> evs = trace_events(json);
+
+  std::size_t begins = 0, ends = 0, truncated = 0, retracted_spans = 0;
+  for (const Json& ev : evs) {
+    const std::string ph = field(ev, "ph").str;
+    if (ph == "b") ++begins;
+    if (ph == "e") {
+      ++ends;
+      const Json& args = field(ev, "args");
+      if (get(args, "truncated") != nullptr) ++truncated;
+      if (get(args, "retracted") != nullptr) ++retracted_spans;
+    }
+  }
+  // Three spans: write id1, read id2 (survives its retract), read id4.
+  EXPECT_EQ(begins, 3u);
+  EXPECT_EQ(ends, begins);  // every span closed (one by truncation)
+  EXPECT_EQ(truncated, 1u);
+  EXPECT_EQ(retracted_spans, 0u);  // the retracted AR was re-issued
+
+  // The re-presented read keeps its original start cycle 3.
+  bool saw_read_span = false;
+  for (const Json& ev : evs) {
+    if (field(ev, "ph").str != "b") continue;
+    if (field(ev, "name").str.rfind("read", 0) != 0) continue;
+    if (field(ev, "ts").unum == 3) saw_read_span = true;
+  }
+  EXPECT_TRUE(saw_read_span) << "re-presented AR span lost its start";
+}
+
+TEST(ChromeExport, DeadRetractGetsARetractedEndEvent) {
+  TraceBuffer buf;
+  buf.link = "gen.out";
+  buf.records = {aw(2, 1, 0x100), retract(4, Channel::kAw)};
+  ChromeTraceInput in;
+  in.links = {&buf};
+  in.end_cycle = 10;
+  const std::vector<Json> evs = trace_events(export_chrome_json(in));
+  bool saw = false;
+  for (const Json& ev : evs) {
+    if (field(ev, "ph").str != "e") continue;
+    if (get(field(ev, "args"), "retracted") != nullptr) {
+      saw = true;
+      EXPECT_EQ(field(ev, "ts").unum, 4u);  // ends at the retract cycle
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(ChromeExport, InstantsCountersAndProcessNamesRender) {
+  TraceBuffer buf;
+  buf.link = "mem.in";
+  buf.records = {aw(1, 0, 0x0), b(3, 0)};
+  ChromeTraceInput in;
+  in.links = {&buf};
+  in.instants = {{"tmu: detect", 7}};
+  in.counters = {{"evals.gen", 9, 42}};
+  in.end_cycle = 9;
+  const std::string json = export_chrome_json(in);
+  const std::vector<Json> evs = trace_events(json);
+
+  bool saw_instant = false, saw_counter = false, saw_pname = false;
+  for (const Json& ev : evs) {
+    const std::string ph = field(ev, "ph").str;
+    if (ph == "i" && field(ev, "name").str == "tmu: detect") {
+      saw_instant = true;
+      EXPECT_EQ(field(ev, "ts").unum, 7u);
+      EXPECT_EQ(field(ev, "s").str, "g");  // global-scope instant
+    }
+    if (ph == "C" && field(ev, "name").str == "evals.gen") {
+      saw_counter = true;
+      EXPECT_EQ(field(field(ev, "args"), "value").unum, 42u);
+    }
+    if (ph == "M" && field(ev, "name").str == "process_name") {
+      const Json* n = get(field(ev, "args"), "name");
+      if (n != nullptr && n->str == "link:mem.in") saw_pname = true;
+    }
+  }
+  EXPECT_TRUE(saw_instant);
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_pname);
+}
+
+TEST(ChromeExport, OutputIsDeterministic) {
+  TraceBuffer buf;
+  buf.link = "gen.out";
+  buf.records = {aw(1, 3, 0x40), b(4, 3), ar(5, 1, 0x80), r_last(9, 1)};
+  ChromeTraceInput in;
+  in.links = {&buf};
+  in.end_cycle = 12;
+  EXPECT_EQ(export_chrome_json(in), export_chrome_json(in));
+}
+
+// Export straight from a Soc after a fault run: recorder streams become
+// span tracks, the TMU's lifecycle log becomes instants, and the
+// scheduler profile becomes counter tracks — all in one parseable,
+// deterministic document.
+TEST(ChromeExport, SocExportCarriesLifecycleAndSchedTracks) {
+  soc::SocDesc d = soc::ip_testbench_desc();
+  d.managers.front().traffic.enabled = true;
+  d.traces.push_back(soc::TraceDesc{"cap_gen", "gen.out"});
+  const auto soc = soc::SocBuilder::build(d);
+  soc->sim().run(300);
+  soc->get<fault::FaultInjector>("inj_s").arm(fault::FaultPoint::kBValidStuck);
+  auto& tmu = soc->get<tmu::Tmu>("tmu");
+  ASSERT_TRUE(soc->sim().run_until([&] { return tmu.any_fault(); }, 4000));
+  ASSERT_FALSE(tmu.lifecycle_log().empty());
+
+  const std::string json = export_chrome_json(*soc);
+  EXPECT_EQ(json, export_chrome_json(*soc));
+  const std::vector<Json> evs = trace_events(json);
+  ASSERT_FALSE(evs.empty());
+
+  bool saw_detect = false, saw_evals = false, saw_span = false;
+  for (const Json& ev : evs) {
+    const std::string ph = field(ev, "ph").str;
+    const std::string& name = field(ev, "name").str;
+    if (ph == "i" && name.find("detect") != std::string::npos) {
+      saw_detect = true;
+    }
+    if (ph == "C" && name.rfind("evals.", 0) == 0) saw_evals = true;
+    if (ph == "b") saw_span = true;
+  }
+  EXPECT_TRUE(saw_detect);
+  EXPECT_TRUE(saw_evals);
+  EXPECT_TRUE(saw_span);
+}
+
+// The committed fixture renders to the exact same document every time —
+// part of the regression gate scripts/check.sh pins.
+TEST(ChromeExportFixture, FixtureExportIsDeterministic) {
+  const TraceBuffer buf = read_trace_file(
+      std::string(TMU_TEST_DATA_DIR) + "/ip_testbench_gen.axitrace");
+  ChromeTraceInput in;
+  in.links = {&buf};
+  in.end_cycle = 2000;
+  const std::string json = export_chrome_json(in);
+  EXPECT_GT(json.size(), 10000u);
+  EXPECT_EQ(json, export_chrome_json(in));
+  EXPECT_FALSE(trace_events(json).empty());
+}
+
+}  // namespace
