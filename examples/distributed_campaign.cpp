@@ -1,0 +1,152 @@
+// Distributed fault campaign: the multi-process scale-out workflow.
+//
+// 1. A Monte-Carlo campaign (two TMU variants x two stuck-channel fault
+//    points on the Fig. 8/9 IP testbench) is captured as a
+//    tmu-campaign-spec-v1 document — the file a remote worker needs to
+//    own any trial range.
+// 2. The same campaign runs twice: serially through campaign::Engine
+//    (one thread) and through campaign::remote::Dispatcher, which
+//    shards it into ranges, executes them, and merges the slices.
+// 3. The two reports must be byte-identical — the determinism contract
+//    that makes worker crashes recoverable by re-running a range.
+//
+// Build & run:  ./build/distributed_campaign [trials-per-scenario]
+//
+// The default 8 trials/scenario keeps the CTest smoke fast; pass e.g.
+// 200 (= an 800-trial campaign) to measure real scale-out speedups.
+//
+// By default the dispatcher executes ranges in-process (no worker
+// binary), so the example is self-contained and sanitizer-friendly.
+// Point TMU_CAMPAIGN_WORKER at the campaign_worker binary to fork real
+// worker processes instead:
+//
+//   TMU_CAMPAIGN_WORKER=./build/campaign_worker ./build/distributed_campaign
+//
+// and optionally arm TMU_WORKER_FAIL=crash@3,hang@9 (see
+// tools/campaign_worker.cpp) to watch the dispatcher recover — the
+// final report is byte-identical either way.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "campaign/remote.hpp"
+#include "sim/logger.hpp"
+
+namespace {
+
+using fault::FaultPoint;
+using tmu::Variant;
+
+constexpr std::uint64_t kBaseSeed = 0xD15Cull;
+
+campaign::TrialSpec trial_proto(Variant v, FaultPoint p) {
+  campaign::TrialSpec spec;
+  spec.cfg.variant = v;
+  spec.cfg.tc_total_budget = 200;
+  spec.cfg.adaptive.enabled = true;
+  spec.cfg.adaptive.cycles_per_beat = 3;
+  spec.cfg.adaptive.cycles_per_ahead = 6;
+  spec.point = p;
+  spec.traffic.enabled = true;
+  spec.traffic.p_new_txn = 0.25;
+  spec.traffic.max_outstanding = 6;
+  spec.traffic.len_max = 7;
+  spec.inject_delay_max = 300;
+  spec.detect_budget = 3000;
+  spec.exercise_recovery = true;
+  return spec;
+}
+
+campaign::remote::CampaignSpec make_spec(std::size_t trials_per_scenario) {
+  campaign::remote::CampaignSpec spec;
+  spec.base_seed = kBaseSeed;
+  for (FaultPoint p : {FaultPoint::kAwReadyStuck, FaultPoint::kRValidStuck}) {
+    for (Variant v : {Variant::kFullCounter, Variant::kTinyCounter}) {
+      const char* vs = v == Variant::kFullCounter ? "fc/" : "tc/";
+      spec.scenarios.push_back(campaign::make_scenario(
+          vs + std::string(to_string(p)), trial_proto(v, p),
+          trials_per_scenario));
+    }
+  }
+  return spec;
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::global_log_level() = sim::LogLevel::kOff;
+  std::size_t trials_per_scenario = 8;
+  if (argc > 1) {
+    trials_per_scenario = std::strtoull(argv[1], nullptr, 10);
+    if (trials_per_scenario == 0) {
+      std::fprintf(stderr, "usage: distributed_campaign [trials-per-scenario]\n");
+      return 2;
+    }
+  }
+
+  // ---- 1. The campaign as data ----
+  const campaign::remote::CampaignSpec spec = make_spec(trials_per_scenario);
+  const std::string spec_json = spec.to_json();
+  // Round-trip sanity: the document reparses to an equal spec.
+  if (!(campaign::remote::CampaignSpec::from_json(spec_json) == spec)) {
+    std::fprintf(stderr, "FAIL: spec did not round-trip\n");
+    return 1;
+  }
+  std::printf("spec: %llu trials, %zu scenarios, %zu bytes, hash %016llx\n",
+              static_cast<unsigned long long>(spec.total_trials()),
+              spec.scenarios.size(), spec_json.size(),
+              static_cast<unsigned long long>(spec.hash()));
+
+  // ---- 2a. Serial reference: the in-process engine, one thread ----
+  auto t0 = std::chrono::steady_clock::now();
+  const campaign::Report serial =
+      campaign::Engine({1, spec.base_seed}).run(spec.scenarios);
+  const double serial_ms = ms_since(t0);
+  std::printf("engine (1 thread):     %7.1f ms\n", serial_ms);
+
+  // ---- 2b. The dispatcher: sharded ranges, merged slices ----
+  campaign::remote::DispatcherOptions opts;
+  if (const char* worker = std::getenv("TMU_CAMPAIGN_WORKER")) {
+    opts.worker_binary = worker;
+  }
+  opts.workers = 4;
+  opts.deadline_ms = 10000;
+  campaign::remote::Dispatcher dispatcher(opts);
+  t0 = std::chrono::steady_clock::now();
+  const campaign::Report merged = dispatcher.run(spec);
+  const double dispatch_ms = ms_since(t0);
+  const campaign::remote::DispatchStats& st = dispatcher.stats();
+  std::printf(
+      "dispatcher (%s, %u workers): %7.1f ms  (%.2fx)\n",
+      opts.worker_binary.empty() ? "in-process" : "forked", dispatcher.workers(),
+      dispatch_ms, serial_ms / dispatch_ms);
+  std::printf(
+      "  spawned %llu  crashed %llu  hung %llu  corrupt %llu  "
+      "reissued %llu  fallback %llu\n",
+      static_cast<unsigned long long>(st.spawned),
+      static_cast<unsigned long long>(st.crashed),
+      static_cast<unsigned long long>(st.hung),
+      static_cast<unsigned long long>(st.corrupt),
+      static_cast<unsigned long long>(st.reissued),
+      static_cast<unsigned long long>(st.fallback_ranges));
+
+  // ---- 3. The contract: byte-identical reports ----
+  if (merged.to_json() != serial.to_json()) {
+    std::fprintf(stderr, "FAIL: merged report differs from serial engine\n");
+    return 1;
+  }
+  std::printf("merged report byte-identical to serial engine (%llu trials, "
+              "%llu detected)\n",
+              static_cast<unsigned long long>(merged.total_trials()),
+              static_cast<unsigned long long>(merged.overall.detected));
+  return 0;
+}

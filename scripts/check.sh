@@ -71,6 +71,20 @@ echo "check.sh: observability layer + campaign telemetry OK"
 ./build/trace_replay > /dev/null
 echo "check.sh: trace record/replay/export equivalence OK"
 
+# Distributed-campaign gate: spec/slice round-trip + hash-sensitivity
+# fuzz, byte-identical merge for arbitrary shard splits (incl.
+# out-of-order and uneven), and dispatcher recovery from crashed, hung
+# and garbage-emitting workers (real forked campaign_worker processes).
+./build/test_campaign_remote --gtest_brief=1
+# End-to-end recovery drill: fork real workers, crash one mid-range and
+# make another emit garbage instead of a slice; the example exits
+# nonzero unless the merged report comes out byte-identical to the
+# serial in-process run.
+TMU_CAMPAIGN_WORKER=./build/campaign_worker \
+  TMU_WORKER_FAIL=crash@3,corrupt@9 \
+  ./build/distributed_campaign > /dev/null
+echo "check.sh: distributed-campaign dispatcher recovery OK"
+
 # Scaling-bench smoke: the grid SoC sweep must construct and run at
 # small sizes with deterministic cross-implementation traffic counts.
 ./build/bench_soc_scaling --smoke

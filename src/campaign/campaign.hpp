@@ -49,6 +49,14 @@ struct TrialSpec {
   std::uint64_t inject_delay_max = 500;  ///< injection delay drawn in [0, max]
   std::uint64_t detect_budget = 4000;    ///< cycles after injection delay
   std::uint64_t soak_cycles = 10000;     ///< run length for healthy trials
+  /// Hard watchdog ceiling on total cycles simulated by the trial; 0
+  /// derives it from the budgets above (saturating, so a deliberately
+  /// huge detect_budget still gets a finite ceiling). A trial clipped by
+  /// the ceiling terminates with TrialResult::timed_out set instead of
+  /// looping. The derived default is never smaller than what the
+  /// budgeted phases can legitimately use, so it does not perturb
+  /// well-budgeted trials.
+  std::uint64_t max_cycles = 0;
   bool exercise_recovery = false;        ///< after detection: disarm, recover
   /// Extra links to capture during the trial (builder link names, e.g.
   /// "gen.out"). Each becomes a declarative TraceDesc named
@@ -56,12 +64,25 @@ struct TrialSpec {
   /// streams come back in TrialResult::traces (desc traces first, then
   /// these, in order).
   std::vector<std::string> trace_links;
+
+  /// Structural equality — what campaign-spec serialization (see
+  /// remote.hpp) round-trips and run-length-encodes on.
+  bool operator==(const TrialSpec&) const = default;
 };
 
 struct TrialResult {
   bool detected = false;
   bool recovered = false;        ///< only with exercise_recovery
   bool traffic_resumed = false;  ///< only with exercise_recovery
+  /// The trial body threw (e.g. an elaboration error or a convergence
+  /// failure): the campaign records it here — deterministically, in the
+  /// trial's own result slot — and keeps going instead of aborting.
+  bool failed = false;
+  std::string error;  ///< exception message when failed
+  /// The watchdog ceiling (TrialSpec::max_cycles) clipped the trial
+  /// before its predicate was met — a named result for never-detecting
+  /// trials instead of an unbounded loop.
+  bool timed_out = false;
   std::uint64_t inject_delay = 0;
   std::uint64_t detect_cycle = 0;
   std::uint64_t latency = 0;  ///< fault onset -> detection
@@ -97,6 +118,8 @@ TrialResult run_fault_trial(const TrialSpec& spec);
 struct Scenario {
   std::string label;
   std::vector<TrialSpec> trials;
+
+  bool operator==(const Scenario&) const = default;
 };
 
 /// Convenience: n identical trials under `label` (seeds left 0 so the
@@ -116,6 +139,8 @@ struct ScenarioSummary {
   std::uint64_t recovered = 0;
   std::uint64_t traffic_resumed = 0;
   std::uint64_t false_positives = 0;  ///< healthy trials that flagged
+  std::uint64_t failed_trials = 0;    ///< trials whose body threw
+  std::uint64_t timed_out = 0;        ///< trials clipped by the watchdog
   std::uint64_t total_cycles = 0;
   std::uint64_t total_eval_passes = 0;
   sim::RunningStats latency;   ///< detection latency across detected trials
@@ -148,6 +173,28 @@ struct Report {
   /// Writes to_json() to `path`; returns false on I/O failure.
   bool write_json(const std::string& path) const;
 };
+
+/// The deterministic per-trial seed for global trial index `index`
+/// under `base_seed` (SplitMix64-style mixing; schedule-free). Every
+/// execution path — the in-process Engine, a remote campaign_worker
+/// owning an arbitrary trial range, the dispatcher's in-process
+/// fallback — derives seeds through this one function, which is what
+/// makes any shard split reproduce the same trials.
+std::uint64_t derive_trial_seed(std::uint64_t base_seed, std::uint64_t index);
+
+/// Flattens scenarios into the global trial list (the determinism key:
+/// seed derivation, result slots, and aggregation order all depend only
+/// on the global index) and fills in derived seeds where spec.seed == 0.
+std::vector<TrialSpec> flatten_trials(const std::vector<Scenario>& scenarios,
+                                      std::uint64_t base_seed);
+
+/// Rebuilds rep.scenarios and rep.overall from rep.results (which must
+/// hold one result per flattened trial, in global index order). Serial,
+/// fixed iteration order, exact merges — so the aggregate views are
+/// bit-identical however the results were produced: one thread, a pool,
+/// or remote slices merged back together (remote::merge_slices and
+/// Engine::run share this exact code path).
+void aggregate_report(const std::vector<Scenario>& scenarios, Report& rep);
 
 struct EngineOptions {
   /// Worker threads; 0 = std::thread::hardware_concurrency() (min 1).

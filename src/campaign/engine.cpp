@@ -3,10 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cinttypes>
-#include <exception>
 #include <fstream>
-#include <mutex>
-#include <sstream>
 #include <thread>
 
 #include "sim/jsonfmt.hpp"
@@ -28,6 +25,24 @@ std::uint64_t mix64(std::uint64_t x) {
 }
 
 }  // namespace
+
+std::uint64_t derive_trial_seed(std::uint64_t base_seed, std::uint64_t index) {
+  return mix64(base_seed ^ mix64(index));
+}
+
+std::vector<TrialSpec> flatten_trials(const std::vector<Scenario>& scenarios,
+                                      std::uint64_t base_seed) {
+  std::vector<TrialSpec> specs;
+  for (const Scenario& sc : scenarios) {
+    specs.insert(specs.end(), sc.trials.begin(), sc.trials.end());
+  }
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].seed == 0) {
+      specs[i].seed = derive_trial_seed(base_seed, i);
+    }
+  }
+  return specs;
+}
 
 Scenario make_scenario(std::string label, const TrialSpec& proto,
                        std::size_t n) {
@@ -65,6 +80,9 @@ void append_summary_fields(std::string& out, const ScenarioSummary& sc,
            sc.traffic_resumed);
   append_f(out, "%s\"false_positives\": %" PRIu64 ",\n", indent,
            sc.false_positives);
+  append_f(out, "%s\"failed_trials\": %" PRIu64 ",\n", indent,
+           sc.failed_trials);
+  append_f(out, "%s\"timed_out\": %" PRIu64 ",\n", indent, sc.timed_out);
   append_f(out, "%s\"total_cycles\": %" PRIu64 ",\n", indent,
            sc.total_cycles);
   append_f(out, "%s\"total_eval_passes\": %" PRIu64 ",\n", indent,
@@ -119,22 +137,8 @@ Engine::Engine(EngineOptions opts) : opts_(opts) {
 
 Report Engine::run(const std::vector<Scenario>& scenarios,
                    const TrialFn& fn) const {
-  // Flatten scenarios into one global trial list; the global index is
-  // the determinism key (seed derivation + result slot + aggregation
-  // order all depend only on it).
-  std::vector<TrialSpec> specs;
-  std::vector<std::size_t> scenario_of;
-  for (std::size_t si = 0; si < scenarios.size(); ++si) {
-    for (const TrialSpec& t : scenarios[si].trials) {
-      specs.push_back(t);
-      scenario_of.push_back(si);
-    }
-  }
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    if (specs[i].seed == 0) {
-      specs[i].seed = mix64(opts_.base_seed ^ mix64(static_cast<std::uint64_t>(i)));
-    }
-  }
+  const std::vector<TrialSpec> specs =
+      flatten_trials(scenarios, opts_.base_seed);
 
   Report rep;
   rep.base_seed = opts_.base_seed;
@@ -147,23 +151,24 @@ Report Engine::run(const std::vector<Scenario>& scenarios,
   // indices; results land in their own slots, so no two workers ever
   // touch the same data and the outcome is schedule-independent.
   std::atomic<std::size_t> cursor{0};
-  std::exception_ptr first_error;
-  std::mutex error_mu;
   auto worker = [&] {
     for (;;) {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= specs.size()) return;
       try {
         rep.results[i] = fn(specs[i]);
+      } catch (const std::exception& e) {
+        // A throwing trial is data, not a campaign abort: the failure
+        // lands in the trial's own result slot (deterministic at any
+        // thread count) and the remaining trials keep running. The
+        // scenario summary surfaces it as failed_trials.
+        rep.results[i] = TrialResult{};
+        rep.results[i].failed = true;
+        rep.results[i].error = e.what();
       } catch (...) {
-        {
-          std::lock_guard<std::mutex> lock(error_mu);
-          if (!first_error) first_error = std::current_exception();
-        }
-        // Exhaust the cursor so the other workers stop handing out
-        // trials instead of draining the whole campaign first.
-        cursor.store(specs.size(), std::memory_order_relaxed);
-        return;
+        rep.results[i] = TrialResult{};
+        rep.results[i].failed = true;
+        rep.results[i].error = "unknown exception";
       }
     }
   };
@@ -176,15 +181,28 @@ Report Engine::run(const std::vector<Scenario>& scenarios,
     for (unsigned t = 0; t < threads_; ++t) pool.emplace_back(worker);
     for (auto& th : pool) th.join();
   }
-  if (first_error) std::rethrow_exception(first_error);
 
   rep.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
+  aggregate_report(scenarios, rep);
+  return rep;
+}
+
+void aggregate_report(const std::vector<Scenario>& scenarios, Report& rep) {
+  std::vector<TrialSpec> specs;
+  std::vector<std::size_t> scenario_of;
+  for (std::size_t si = 0; si < scenarios.size(); ++si) {
+    for (const TrialSpec& t : scenarios[si].trials) {
+      specs.push_back(t);
+      scenario_of.push_back(si);
+    }
+  }
+
   // Serial aggregation in trial-index order: floating-point sums are
   // evaluated in one fixed order regardless of which worker ran what.
-  rep.scenarios.resize(scenarios.size());
+  rep.scenarios.assign(scenarios.size(), ScenarioSummary{});
   for (std::size_t si = 0; si < scenarios.size(); ++si) {
     rep.scenarios[si].label = scenarios[si].label;
     // Topology fingerprint (forward-compat for remote shards): which
@@ -214,6 +232,13 @@ Report Engine::run(const std::vector<Scenario>& scenarios,
     sc.total_cycles += r.cycles_run;
     sc.total_eval_passes += r.eval_passes;
     sc.metrics.merge(r.metrics);
+    if (r.failed) {
+      // A captured trial failure contributes nothing but its count: the
+      // default-constructed result must not read as a silent pass.
+      ++sc.failed_trials;
+      continue;
+    }
+    if (r.timed_out) ++sc.timed_out;
     if (specs[i].point == fault::FaultPoint::kNone) {
       if (r.detected) ++sc.false_positives;
       continue;
@@ -231,6 +256,7 @@ Report Engine::run(const std::vector<Scenario>& scenarios,
   // exact (Chan et al. for the moments, integer adds for the
   // histogram), and the scenario order is fixed, so this too is
   // identical across thread counts.
+  rep.overall = ScenarioSummary{};
   rep.overall.label = "overall";
   for (std::size_t si = 0; si < rep.scenarios.size(); ++si) {
     const ScenarioSummary& sc = rep.scenarios[si];
@@ -249,13 +275,14 @@ Report Engine::run(const std::vector<Scenario>& scenarios,
     rep.overall.recovered += sc.recovered;
     rep.overall.traffic_resumed += sc.traffic_resumed;
     rep.overall.false_positives += sc.false_positives;
+    rep.overall.failed_trials += sc.failed_trials;
+    rep.overall.timed_out += sc.timed_out;
     rep.overall.total_cycles += sc.total_cycles;
     rep.overall.total_eval_passes += sc.total_eval_passes;
     rep.overall.latency.merge(sc.latency);
     rep.overall.latency_hist.merge(sc.latency_hist);
     rep.overall.metrics.merge(sc.metrics);
   }
-  return rep;
 }
 
 }  // namespace campaign

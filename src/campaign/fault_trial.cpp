@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <stdexcept>
 
 #include "campaign/campaign.hpp"
@@ -50,9 +51,35 @@ TrialResult run_fault_trial(const TrialSpec& spec) {
 
   TrialResult r;
 
+  // Hung-trial watchdog: a hard ceiling on total cycles simulated, so a
+  // never-detecting trial (e.g. a disabled TMU under an absurd
+  // detect_budget) terminates with a named result instead of looping.
+  // The derived default covers everything the budgeted phases can
+  // legitimately use, so well-budgeted trials are never clipped; sums
+  // saturate so deliberately huge budgets still yield a finite ceiling.
+  constexpr std::uint64_t kRecoveryBudget = 2000;
+  const auto sat_add = [](std::uint64_t a, std::uint64_t b) {
+    const std::uint64_t sum = a + b;
+    return sum < a ? ~std::uint64_t{0} : sum;
+  };
+  std::uint64_t ceiling = spec.max_cycles;
+  if (ceiling == 0) {
+    ceiling = spec.point == fault::FaultPoint::kNone
+                  ? spec.soak_cycles
+                  : sat_add(spec.inject_delay_max, spec.detect_budget);
+    if (spec.exercise_recovery) ceiling = sat_add(ceiling, 2 * kRecoveryBudget);
+  }
+  // Cycles the watchdog still allows for the next phase.
+  const auto capped = [&](std::uint64_t want) {
+    const std::uint64_t left = ceiling > s.cycle() ? ceiling - s.cycle() : 0;
+    return std::min(want, left);
+  };
+
   if (spec.point == fault::FaultPoint::kNone) {
     // Healthy soak: any flag is a false positive.
-    s.run(spec.soak_cycles);
+    const std::uint64_t budget = capped(spec.soak_cycles);
+    s.run(budget);
+    r.timed_out = budget < spec.soak_cycles;
     r.detected = t.any_fault();
     if (r.detected) r.detect_cycle = t.fault_log().front().cycle;
   } else {
@@ -73,18 +100,27 @@ TrialResult run_fault_trial(const TrialSpec& spec) {
     r.inject_delay =
         spec.inject_delay_max != 0 ? rng.range(0, spec.inject_delay_max) : 0;
     inj.arm(spec.point, r.inject_delay);
-    if (s.run_until([&] { return t.any_fault(); },
-                    r.inject_delay + spec.detect_budget)) {
+    const std::uint64_t want = sat_add(r.inject_delay, spec.detect_budget);
+    const std::uint64_t budget = capped(want);
+    if (s.run_until([&] { return t.any_fault(); }, budget)) {
       r.detected = true;
       r.detect_cycle = t.fault_log().front().cycle;
       r.latency = r.detect_cycle - inj.fault_start_cycle();
+    } else {
+      // Only a watchdog-clipped miss is a timeout; an unclipped miss is
+      // the ordinary "not detected within budget" outcome.
+      r.timed_out = budget < want;
     }
     if (r.detected && spec.exercise_recovery) {
       inj.disarm();
-      r.recovered = s.run_until([&] { return t.recoveries() >= 1; }, 2000);
+      const std::uint64_t rb = capped(kRecoveryBudget);
+      r.recovered = s.run_until([&] { return t.recoveries() >= 1; }, rb);
+      if (!r.recovered && rb < kRecoveryBudget) r.timed_out = true;
       const auto before = gen.completed();
+      const std::uint64_t tb = capped(kRecoveryBudget);
       r.traffic_resumed =
-          s.run_until([&] { return gen.completed() > before; }, 2000);
+          s.run_until([&] { return gen.completed() > before; }, tb);
+      if (!r.traffic_resumed && tb < kRecoveryBudget) r.timed_out = true;
     }
   }
 

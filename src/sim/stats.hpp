@@ -51,6 +51,27 @@ class RunningStats {
   double min() const { return n_ ? min_ : 0.0; }
   double max() const { return n_ ? max_ : 0.0; }
 
+  /// Raw second central moment (sum of squared deviations) — together
+  /// with count/mean/min/max this is the full internal state, which is
+  /// what remote campaign slices serialize so a merged report is
+  /// bit-identical to the in-process run.
+  double m2() const { return m2_; }
+
+  /// Reconstructs a stream from its serialized internal state (the
+  /// inverse of count/mean/m2/min/max). n == 0 yields a fresh stream
+  /// regardless of the other fields.
+  static RunningStats from_parts(std::uint64_t n, double mean, double m2,
+                                 double min, double max) {
+    RunningStats s;
+    if (n == 0) return s;
+    s.n_ = n;
+    s.mean_ = mean;
+    s.m2_ = m2;
+    s.min_ = min;
+    s.max_ = max;
+    return s;
+  }
+
  private:
   std::uint64_t n_ = 0;
   double mean_ = 0.0;
@@ -98,6 +119,13 @@ class Histogram {
   /// Combines another histogram into this one (exact: integer counts).
   void merge(const Histogram& o) {
     for (const auto& [v, c] : o.bins_) bins_[v] += c;
+  }
+
+  /// Bulk-adds `count` occurrences of `value` — the deserialization
+  /// inverse of bins() (remote campaign slices rebuild histograms from
+  /// their serialized (value, count) pairs through this).
+  void add_count(std::uint64_t value, std::uint64_t count) {
+    if (count != 0) bins_[value] += count;
   }
 
   std::uint64_t count(std::uint64_t value) const {

@@ -16,100 +16,20 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/jsonemit.hpp"
 #include "sim/jsonfmt.hpp"
 #include "sim/jsonparse.hpp"
+#include "soc/desc_serde.hpp"
 
 namespace soc {
 
-namespace {
+// The traffic/TMU config blocks are shared with the campaign spec
+// schema, so their serde lives in soc::serde (desc_serde.hpp); the
+// canonical Emitter itself moved to sim/jsonemit.hpp for the same
+// reason. Emission and parsing of everything desc-specific stays here.
+namespace serde {
 
-using sim::jsonfmt::append_f;
-using sim::jsonfmt::json_escape;
-
-// ------------------------------------------------------------------
-// Emission
-// ------------------------------------------------------------------
-
-/// Tiny canonical-JSON writer: tracks nesting depth for indentation and
-/// whether the current aggregate needs a separating comma.
-class Emitter {
- public:
-  std::string take() && { return std::move(out_); }
-
-  void key(const char* k) {
-    sep();
-    indent();
-    out_ += '"';
-    out_ += k;
-    out_ += "\": ";
-    pending_value_ = true;
-  }
-  void str(const char* k, const std::string& v) {
-    key(k);
-    out_ += '"';
-    out_ += json_escape(v);
-    out_ += '"';
-    done_value();
-  }
-  void u64(const char* k, std::uint64_t v) {
-    key(k);
-    append_f(out_, "%" PRIu64, v);
-    done_value();
-  }
-  void boolean(const char* k, bool v) {
-    key(k);
-    out_ += v ? "true" : "false";
-    done_value();
-  }
-  void dbl(const char* k, double v) {
-    key(k);
-    append_f(out_, "%.17g", v);  // round-trips every finite double
-    done_value();
-  }
-  void open_obj(const char* k = nullptr) { open(k, '{'); }
-  void close_obj() { close('}'); }
-  void open_arr(const char* k = nullptr) { open(k, '['); }
-  void close_arr() { close(']'); }
-
- private:
-  void done_value() {
-    pending_value_ = false;
-    need_comma_ = true;
-  }
-  void sep() {
-    if (need_comma_) out_ += ",\n";
-    need_comma_ = false;
-  }
-  void indent() {
-    if (pending_value_) return;  // value follows "key": on the same line
-    out_.append(2 * depth_, ' ');
-  }
-  void open(const char* k, char brace) {
-    if (k != nullptr) {
-      key(k);
-    } else {
-      sep();
-      indent();
-    }
-    pending_value_ = false;
-    out_ += brace;
-    out_ += '\n';
-    ++depth_;
-    need_comma_ = false;
-  }
-  void close(char brace) {
-    out_ += '\n';
-    --depth_;
-    out_.append(2 * depth_, ' ');
-    out_ += brace;
-    need_comma_ = true;
-  }
-
-  std::string out_;
-  int depth_ = 0;
-  bool need_comma_ = false;
-  bool pending_value_ = false;
-};
+using sim::jsonemit::Emitter;
 
 void emit_traffic(Emitter& e, const char* k,
                   const axi::RandomTrafficConfig& t) {
@@ -127,6 +47,115 @@ void emit_traffic(Emitter& e, const char* k,
   e.u64("size", t.size);
   e.close_obj();
 }
+
+void emit_tmu(Emitter& e, const char* k, const tmu::TmuConfig& c) {
+  e.open_obj(k);
+  e.str("variant", to_string(c.variant));
+  e.u64("max_uniq_ids", c.max_uniq_ids);
+  e.u64("txn_per_uniq_id", c.txn_per_uniq_id);
+  e.open_obj("budgets");
+  e.u64("aw_vld_aw_rdy", c.budgets.aw_vld_aw_rdy);
+  e.u64("aw_rdy_w_vld", c.budgets.aw_rdy_w_vld);
+  e.u64("w_vld_w_rdy", c.budgets.w_vld_w_rdy);
+  e.u64("w_first_w_last", c.budgets.w_first_w_last);
+  e.u64("w_last_b_vld", c.budgets.w_last_b_vld);
+  e.u64("b_vld_b_rdy", c.budgets.b_vld_b_rdy);
+  e.u64("ar_vld_ar_rdy", c.budgets.ar_vld_ar_rdy);
+  e.u64("ar_rdy_r_vld", c.budgets.ar_rdy_r_vld);
+  e.u64("r_vld_r_rdy", c.budgets.r_vld_r_rdy);
+  e.u64("r_vld_r_last", c.budgets.r_vld_r_last);
+  e.close_obj();
+  e.u64("tc_total_budget", c.tc_total_budget);
+  e.open_obj("adaptive");
+  e.boolean("enabled", c.adaptive.enabled);
+  e.u64("cycles_per_beat", c.adaptive.cycles_per_beat);
+  e.u64("cycles_per_ahead", c.adaptive.cycles_per_ahead);
+  e.close_obj();
+  e.u64("prescaler_step", c.prescaler_step);
+  e.boolean("sticky_bit", c.sticky_bit);
+  e.boolean("enabled", c.enabled);
+  e.boolean("irq_enabled", c.irq_enabled);
+  e.boolean("reset_on_fault", c.reset_on_fault);
+  e.u64("max_txn_cycles", c.max_txn_cycles);
+  e.u64("fault_log_depth", c.fault_log_depth);
+  e.u64("perf_log_depth", c.perf_log_depth);
+  e.close_obj();
+}
+
+void parse_traffic(const sim::jsonparse::Json& v, const std::string& where,
+                   const std::string& error_prefix,
+                   axi::RandomTrafficConfig& t) {
+  sim::jsonparse::ObjReader r(v, where, error_prefix);
+  r.get("enabled", t.enabled);
+  r.get("p_new_txn", t.p_new_txn);
+  r.get("write_fraction", t.write_fraction);
+  r.get_u("max_outstanding", t.max_outstanding);
+  r.get_u("id_min", t.id_min);
+  r.get_u("id_max", t.id_max);
+  r.get_u("addr_min", t.addr_min);
+  r.get_u("addr_max", t.addr_max);
+  r.get_u("len_min", t.len_min);
+  r.get_u("len_max", t.len_max);
+  r.get_u("size", t.size);
+  r.finish();
+}
+
+void parse_tmu(const sim::jsonparse::Json& v, const std::string& where,
+               const std::string& error_prefix, tmu::TmuConfig& c) {
+  sim::jsonparse::ObjReader r(v, where, error_prefix);
+  std::string variant = to_string(c.variant);
+  r.get("variant", variant);
+  if (variant == "Tc") {
+    c.variant = tmu::Variant::kTinyCounter;
+  } else if (variant == "Fc") {
+    c.variant = tmu::Variant::kFullCounter;
+  } else {
+    r.fail(where + ".variant: unknown TMU variant \"" + variant + "\"");
+  }
+  r.get_u("max_uniq_ids", c.max_uniq_ids);
+  r.get_u("txn_per_uniq_id", c.txn_per_uniq_id);
+  if (const sim::jsonparse::Json* b = r.take("budgets")) {
+    sim::jsonparse::ObjReader rb(*b, where + ".budgets", error_prefix);
+    rb.get_u("aw_vld_aw_rdy", c.budgets.aw_vld_aw_rdy);
+    rb.get_u("aw_rdy_w_vld", c.budgets.aw_rdy_w_vld);
+    rb.get_u("w_vld_w_rdy", c.budgets.w_vld_w_rdy);
+    rb.get_u("w_first_w_last", c.budgets.w_first_w_last);
+    rb.get_u("w_last_b_vld", c.budgets.w_last_b_vld);
+    rb.get_u("b_vld_b_rdy", c.budgets.b_vld_b_rdy);
+    rb.get_u("ar_vld_ar_rdy", c.budgets.ar_vld_ar_rdy);
+    rb.get_u("ar_rdy_r_vld", c.budgets.ar_rdy_r_vld);
+    rb.get_u("r_vld_r_rdy", c.budgets.r_vld_r_rdy);
+    rb.get_u("r_vld_r_last", c.budgets.r_vld_r_last);
+    rb.finish();
+  }
+  r.get_u("tc_total_budget", c.tc_total_budget);
+  if (const sim::jsonparse::Json* a = r.take("adaptive")) {
+    sim::jsonparse::ObjReader ra(*a, where + ".adaptive", error_prefix);
+    ra.get("enabled", c.adaptive.enabled);
+    ra.get_u("cycles_per_beat", c.adaptive.cycles_per_beat);
+    ra.get_u("cycles_per_ahead", c.adaptive.cycles_per_ahead);
+    ra.finish();
+  }
+  r.get_u("prescaler_step", c.prescaler_step);
+  r.get("sticky_bit", c.sticky_bit);
+  r.get("enabled", c.enabled);
+  r.get("irq_enabled", c.irq_enabled);
+  r.get("reset_on_fault", c.reset_on_fault);
+  r.get_u("max_txn_cycles", c.max_txn_cycles);
+  r.get_u("fault_log_depth", c.fault_log_depth);
+  r.get_u("perf_log_depth", c.perf_log_depth);
+  r.finish();
+}
+
+}  // namespace serde
+
+namespace {
+
+using serde::emit_tmu;
+using serde::emit_traffic;
+using sim::jsonemit::Emitter;
+using sim::jsonfmt::append_f;
+using sim::jsonfmt::json_escape;
 
 void emit_mem(Emitter& e, const char* k, const axi::MemoryConfig& m) {
   e.open_obj(k);
@@ -169,40 +198,6 @@ void emit_eth(Emitter& e, const char* k, const EthernetConfig& c) {
   e.u64("r_first_latency", c.r_first_latency);
   e.u64("max_outstanding", c.max_outstanding);
   e.u64("mmio_size", c.mmio_size);
-  e.close_obj();
-}
-
-void emit_tmu(Emitter& e, const char* k, const tmu::TmuConfig& c) {
-  e.open_obj(k);
-  e.str("variant", to_string(c.variant));
-  e.u64("max_uniq_ids", c.max_uniq_ids);
-  e.u64("txn_per_uniq_id", c.txn_per_uniq_id);
-  e.open_obj("budgets");
-  e.u64("aw_vld_aw_rdy", c.budgets.aw_vld_aw_rdy);
-  e.u64("aw_rdy_w_vld", c.budgets.aw_rdy_w_vld);
-  e.u64("w_vld_w_rdy", c.budgets.w_vld_w_rdy);
-  e.u64("w_first_w_last", c.budgets.w_first_w_last);
-  e.u64("w_last_b_vld", c.budgets.w_last_b_vld);
-  e.u64("b_vld_b_rdy", c.budgets.b_vld_b_rdy);
-  e.u64("ar_vld_ar_rdy", c.budgets.ar_vld_ar_rdy);
-  e.u64("ar_rdy_r_vld", c.budgets.ar_rdy_r_vld);
-  e.u64("r_vld_r_rdy", c.budgets.r_vld_r_rdy);
-  e.u64("r_vld_r_last", c.budgets.r_vld_r_last);
-  e.close_obj();
-  e.u64("tc_total_budget", c.tc_total_budget);
-  e.open_obj("adaptive");
-  e.boolean("enabled", c.adaptive.enabled);
-  e.u64("cycles_per_beat", c.adaptive.cycles_per_beat);
-  e.u64("cycles_per_ahead", c.adaptive.cycles_per_ahead);
-  e.close_obj();
-  e.u64("prescaler_step", c.prescaler_step);
-  e.boolean("sticky_bit", c.sticky_bit);
-  e.boolean("enabled", c.enabled);
-  e.boolean("irq_enabled", c.irq_enabled);
-  e.boolean("reset_on_fault", c.reset_on_fault);
-  e.u64("max_txn_cycles", c.max_txn_cycles);
-  e.u64("fault_log_depth", c.fault_log_depth);
-  e.u64("perf_log_depth", c.perf_log_depth);
   e.close_obj();
 }
 
@@ -275,23 +270,6 @@ class ObjReader : public sim::jsonparse::ObjReader {
       : sim::jsonparse::ObjReader(v, std::move(where), kErrPrefix) {}
 };
 
-void parse_traffic(const Json& v, const std::string& where,
-                   axi::RandomTrafficConfig& t) {
-  ObjReader r(v, where);
-  r.get("enabled", t.enabled);
-  r.get("p_new_txn", t.p_new_txn);
-  r.get("write_fraction", t.write_fraction);
-  r.get_u("max_outstanding", t.max_outstanding);
-  r.get_u("id_min", t.id_min);
-  r.get_u("id_max", t.id_max);
-  r.get_u("addr_min", t.addr_min);
-  r.get_u("addr_max", t.addr_max);
-  r.get_u("len_min", t.len_min);
-  r.get_u("len_max", t.len_max);
-  r.get_u("size", t.size);
-  r.finish();
-}
-
 void parse_mem(const Json& v, const std::string& where, axi::MemoryConfig& m) {
   ObjReader r(v, where);
   r.get_u("aw_accept_latency", m.aw_accept_latency);
@@ -339,58 +317,14 @@ void parse_eth(const Json& v, const std::string& where, EthernetConfig& c) {
   r.finish();
 }
 
-void parse_tmu(const Json& v, const std::string& where, tmu::TmuConfig& c) {
-  ObjReader r(v, where);
-  std::string variant = to_string(c.variant);
-  r.get("variant", variant);
-  if (variant == "Tc") {
-    c.variant = tmu::Variant::kTinyCounter;
-  } else if (variant == "Fc") {
-    c.variant = tmu::Variant::kFullCounter;
-  } else {
-    fail(where + ".variant: unknown TMU variant \"" + variant + "\"");
-  }
-  r.get_u("max_uniq_ids", c.max_uniq_ids);
-  r.get_u("txn_per_uniq_id", c.txn_per_uniq_id);
-  if (const Json* b = r.take("budgets")) {
-    ObjReader rb(*b, where + ".budgets");
-    rb.get_u("aw_vld_aw_rdy", c.budgets.aw_vld_aw_rdy);
-    rb.get_u("aw_rdy_w_vld", c.budgets.aw_rdy_w_vld);
-    rb.get_u("w_vld_w_rdy", c.budgets.w_vld_w_rdy);
-    rb.get_u("w_first_w_last", c.budgets.w_first_w_last);
-    rb.get_u("w_last_b_vld", c.budgets.w_last_b_vld);
-    rb.get_u("b_vld_b_rdy", c.budgets.b_vld_b_rdy);
-    rb.get_u("ar_vld_ar_rdy", c.budgets.ar_vld_ar_rdy);
-    rb.get_u("ar_rdy_r_vld", c.budgets.ar_rdy_r_vld);
-    rb.get_u("r_vld_r_rdy", c.budgets.r_vld_r_rdy);
-    rb.get_u("r_vld_r_last", c.budgets.r_vld_r_last);
-    rb.finish();
-  }
-  r.get_u("tc_total_budget", c.tc_total_budget);
-  if (const Json* a = r.take("adaptive")) {
-    ObjReader ra(*a, where + ".adaptive");
-    ra.get("enabled", c.adaptive.enabled);
-    ra.get_u("cycles_per_beat", c.adaptive.cycles_per_beat);
-    ra.get_u("cycles_per_ahead", c.adaptive.cycles_per_ahead);
-    ra.finish();
-  }
-  r.get_u("prescaler_step", c.prescaler_step);
-  r.get("sticky_bit", c.sticky_bit);
-  r.get("enabled", c.enabled);
-  r.get("irq_enabled", c.irq_enabled);
-  r.get("reset_on_fault", c.reset_on_fault);
-  r.get_u("max_txn_cycles", c.max_txn_cycles);
-  r.get_u("fault_log_depth", c.fault_log_depth);
-  r.get_u("perf_log_depth", c.perf_log_depth);
-  r.finish();
-}
-
 GuardDesc parse_guard(const Json& v, const std::string& where) {
   GuardDesc g;
   ObjReader rg(v, where);
   rg.get("name", g.name);
   rg.get("subordinate", g.subordinate);
-  if (const Json* c = rg.take("cfg")) parse_tmu(*c, where + ".cfg", g.cfg);
+  if (const Json* c = rg.take("cfg")) {
+    serde::parse_tmu(*c, where + ".cfg", kErrPrefix, g.cfg);
+  }
   rg.get("mgr_injector", g.mgr_injector);
   rg.get("sub_injector", g.sub_injector);
   rg.get("reset_unit", g.reset_unit);
@@ -581,7 +515,7 @@ SocDesc SocDesc::from_json(const std::string& json) {
       }
       rm.get_u("seed", m.seed);
       if (const Json* t = rm.take("traffic")) {
-        parse_traffic(*t, where + ".traffic", m.traffic);
+        serde::parse_traffic(*t, where + ".traffic", kErrPrefix, m.traffic);
       }
       rm.get_u("dma_max_burst", m.dma_max_burst);
       rm.get_u("dma_id", m.dma_id);
@@ -685,12 +619,7 @@ GuardDesc* first_guard(SocDesc& d) {
 std::uint64_t SocDesc::hash() const {
   // FNV-1a 64 over the canonical JSON: process-independent, so remote
   // shards and campaign reports agree on the fingerprint.
-  std::uint64_t h = 0xCBF29CE484222325ull;
-  for (const char c : to_json()) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001B3ull;
-  }
-  return h;
+  return sim::jsonemit::fnv1a64(to_json());
 }
 
 }  // namespace soc

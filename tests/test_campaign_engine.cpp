@@ -186,17 +186,38 @@ TEST_F(CampaignEngine, MixedTopologiesAreReportedAsMixed) {
   EXPECT_EQ(rep.overall.topology, "mixed");
 }
 
-TEST_F(CampaignEngine, WorkerExceptionPropagatesToCaller) {
+TEST_F(CampaignEngine, ThrowingTrialIsCapturedAndCampaignCompletes) {
+  // A throwing trial must not abort the campaign: the failure lands in
+  // the trial's own result slot and the scenario summary counts it.
   campaign::TrialSpec proto;
-  std::vector<campaign::Scenario> sc;
-  sc.push_back(campaign::make_scenario("boom", proto, 8));
+  campaign::TrialSpec bad = proto;
+  bad.soak_cycles = 0;  // the trial fn's failure trigger
+  std::vector<campaign::Scenario> mixed;
+  mixed.push_back(campaign::make_scenario("boom", bad, 8));
+  mixed.push_back(campaign::make_scenario("fine", proto, 4));
   campaign::Engine eng({2, 9ull});
-  EXPECT_THROW(
-      eng.run(sc,
-              [](const campaign::TrialSpec&) -> campaign::TrialResult {
-                throw std::runtime_error("trial blew up");
-              }),
-      std::runtime_error);
+  const campaign::Report rep2 =
+      eng.run(mixed, [](const campaign::TrialSpec& s) -> campaign::TrialResult {
+        if (s.soak_cycles == 0) throw std::runtime_error("trial blew up");
+        campaign::TrialResult r;
+        r.cycles_run = 10;
+        return r;
+      });
+  ASSERT_EQ(rep2.results.size(), 12u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(rep2.results[i].failed) << i;
+    EXPECT_EQ(rep2.results[i].error, "trial blew up") << i;
+    EXPECT_EQ(rep2.results[i].cycles_run, 0u) << i;
+  }
+  for (std::size_t i = 8; i < 12; ++i) {
+    EXPECT_FALSE(rep2.results[i].failed) << i;
+  }
+  EXPECT_EQ(rep2.scenarios[0].failed_trials, 8u);
+  EXPECT_EQ(rep2.scenarios[0].false_positives, 0u);
+  EXPECT_EQ(rep2.scenarios[1].failed_trials, 0u);
+  EXPECT_EQ(rep2.overall.failed_trials, 8u);
+  // The counts surface in the JSON report.
+  EXPECT_NE(rep2.to_json().find("\"failed_trials\": 8"), std::string::npos);
 }
 
 TEST_F(CampaignEngine, WriteJsonRoundTrips) {
