@@ -138,6 +138,81 @@ void run_campaign_report() {
   }
 }
 
+// --- Snapshot-forked warm-up amortization ----------------------------
+// The warm-up-heavy regime the snapshot layer targets: every trial of a
+// scenario shares a 1500-cycle warm-up that is longer than the whole
+// fault window (inject <= 200 + detect 600). Cold execution pays the
+// warm-up per trial; forked execution pays it once per scenario and
+// snapshot-forks the rest (reports are byte-identical either way —
+// tests/test_snapshot_fork.cpp pins that).
+
+constexpr std::uint64_t kWarmupCycles = 1500;
+
+campaign::TrialSpec warm_proto(FaultPoint p) {
+  campaign::TrialSpec spec = proto_spec(Variant::kFullCounter, p);
+  spec.warmup_cycles = kWarmupCycles;
+  spec.inject_delay_max = 200;
+  spec.detect_budget = 600;
+  return spec;
+}
+
+std::vector<campaign::Scenario> build_warm_scenarios(int trials) {
+  std::vector<campaign::Scenario> sc;
+  for (FaultPoint p : {FaultPoint::kAwReadyStuck, FaultPoint::kBValidStuck,
+                       FaultPoint::kRValidStuck, FaultPoint::kWValidStuck}) {
+    sc.push_back(campaign::make_scenario(
+        std::string("warm/") + to_string(p), warm_proto(p),
+        static_cast<std::size_t>(trials)));
+  }
+  return sc;
+}
+
+campaign::Report run_warm(const std::vector<campaign::Scenario>& scenarios,
+                          bool fork) {
+  campaign::EngineOptions opts;
+  opts.threads = 0;  // hardware concurrency
+  opts.snapshot_fork = fork;
+  return campaign::Engine(opts).run(scenarios);
+}
+
+void run_warmup_report() {
+  bench::header(
+      "Snapshot-forked warm-up amortization — cold vs forked trials",
+      "every trial shares a warm-up longer than its fault window; "
+      "forking runs it once per scenario (tmu-soc-snapshot-v1)");
+
+  const auto scenarios = build_warm_scenarios(40);
+  const campaign::Report cold = run_warm(scenarios, false);
+  const campaign::Report forked = run_warm(scenarios, true);
+
+  // In the cold report every trial's cycles_run includes its private
+  // copy of the warm-up, so the warm-up fraction falls straight out.
+  const std::uint64_t warm_cycles =
+      kWarmupCycles * cold.total_trials();
+  const double warm_frac =
+      cold.total_cycles() > 0
+          ? static_cast<double>(warm_cycles) /
+                static_cast<double>(cold.total_cycles())
+          : 0.0;
+  const double speedup = forked.wall_seconds > 0.0
+                             ? cold.wall_seconds / forked.wall_seconds
+                             : 0.0;
+  std::printf(
+      "%llu trials, warm-up fraction %.0f%% of all simulated cycles\n"
+      "cold %.3fs vs forked %.3fs at %u threads -> %.2fx trial "
+      "throughput\n",
+      static_cast<unsigned long long>(cold.total_trials()),
+      100.0 * warm_frac, cold.wall_seconds, forked.wall_seconds,
+      forked.threads_used, speedup);
+  std::printf("Report equivalence (forked vs cold): %s\n",
+              forked.to_json() == cold.to_json() ? "byte-identical"
+                                                 : "MISMATCH");
+  if (speedup < 2.0) {
+    std::printf("WARNING: expected >= 2x forked speedup in the "
+                "warm-up-heavy regime\n");
+  }
+}
+
 /// Google-benchmark entries: a fixed slice of the campaign at 1 thread
 /// vs hardware threads; the committed baseline records trials/s of both
 /// (bench/baselines/BENCH_campaign.json).
@@ -161,6 +236,28 @@ void BM_EngineParallel(benchmark::State& state) { run_engine_bench(state, 0); }
 BENCHMARK(BM_EngineSerial)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_EngineParallel)->Unit(benchmark::kMillisecond);
 
+/// Warm-up-heavy campaign, cold vs snapshot-forked, at two trial
+/// counts (the speedup grows with trials/scenario as one warm-up
+/// amortizes further). The committed baseline records both trials/s
+/// rates; BM_WarmForked / BM_WarmCold at equal args is the speedup.
+void run_warm_bench(benchmark::State& state, bool fork) {
+  const auto scenarios =
+      build_warm_scenarios(static_cast<int>(state.range(0)));
+  std::uint64_t trials = 0;
+  for (auto _ : state) {
+    const campaign::Report rep = run_warm(scenarios, fork);
+    trials += rep.total_trials();
+    benchmark::DoNotOptimize(rep);
+  }
+  state.counters["trials_per_s"] = benchmark::Counter(
+      static_cast<double>(trials), benchmark::Counter::kIsRate);
+}
+
+void BM_WarmCold(benchmark::State& state) { run_warm_bench(state, false); }
+void BM_WarmForked(benchmark::State& state) { run_warm_bench(state, true); }
+BENCHMARK(BM_WarmCold)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WarmForked)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -171,6 +268,7 @@ int main(int argc, char** argv) {
   const char* report_env = std::getenv("TMU_CAMPAIGN_REPORT");
   if (report_env == nullptr || std::string(report_env) != "0") {
     run_campaign_report();
+    run_warmup_report();
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -85,6 +85,17 @@ TMU_CAMPAIGN_WORKER=./build/campaign_worker \
   ./build/distributed_campaign > /dev/null
 echo "check.sh: distributed-campaign dispatcher recovery OK"
 
+# Snapshot gate: tmu-soc-snapshot-v1 strict-decode rejection paths +
+# committed fixture byte-pin, the hier-grid/Cheshire round-trip fuzz,
+# then the cold-vs-fork equivalence contract: a warm-up-heavy campaign
+# run via snapshot forking must report byte-identically to the cold run
+# (the snapshot_fork example exits nonzero on any divergence).
+./build/test_snapshot_format --gtest_brief=1
+./build/test_snapshot_roundtrip --gtest_brief=1
+./build/test_snapshot_fork --gtest_brief=1
+./build/snapshot_fork > /dev/null
+echo "check.sh: snapshot fork-vs-cold equivalence OK"
+
 # Scaling-bench smoke: the grid SoC sweep must construct and run at
 # small sizes with deterministic cross-implementation traffic counts.
 ./build/bench_soc_scaling --smoke

@@ -1,5 +1,7 @@
 #include "axi/bridge.hpp"
 
+#include "sim/state.hpp"
+
 #include <stdexcept>
 
 namespace axi {
@@ -187,6 +189,21 @@ void Bridge::reset() {
   tick_evt_ = !transparent();
   down_.req.force(AxiReq{});
   up_.rsp.force(AxiRsp{});
+}
+
+void Bridge::visit_state(sim::StateVisitor& v) {
+  visit(v, aw_q_);
+  visit(v, w_q_);
+  visit(v, ar_q_);
+  visit(v, b_q_);
+  visit(v, r_q_);
+  visit(v, wr_ids_);
+  visit(v, rd_ids_);
+  visit(v, cycle_);
+  visit(v, writes_forwarded_);
+  visit(v, reads_forwarded_);
+  visit(v, clear_inflight_);
+  visit(v, tick_evt_);
 }
 
 }  // namespace axi

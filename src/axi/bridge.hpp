@@ -59,6 +59,7 @@ class Bridge : public sim::Module {
   void tick() override;
   void reset() override;
   bool tick_changed_eval_state() const override { return tick_evt_; }
+  void visit_state(sim::StateVisitor& v) override;
 
   bool transparent() const {
     return cfg_.req_latency == 0 && cfg_.rsp_latency == 0;
@@ -118,6 +119,29 @@ class Bridge : public sim::Module {
       map_.clear();
     }
 
+    /// State serde: slots only; map_ is a derived index rebuilt on load
+    /// (unordered iteration never reaches the byte stream).
+    template <typename V>
+    void visit_fields(V& v) {
+      std::uint64_t n = slots_.size();
+      v.count(n);
+      if (!v.saving() && n != slots_.size()) {
+        v.fail("bridge ID pool size mismatch: snapshot has " +
+               std::to_string(n) + " slots, pool has " +
+               std::to_string(slots_.size()));
+      }
+      for (Slot& s : slots_) {
+        visit(v, s.id);
+        visit(v, s.outstanding);
+      }
+      if (!v.saving()) {
+        map_.clear();
+        for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+          if (slots_[i].outstanding > 0) map_[slots_[i].id] = i;
+        }
+      }
+    }
+
    private:
     struct Slot {
       Id id = 0;
@@ -142,8 +166,13 @@ class Bridge : public sim::Module {
   /// the simulation reaches `ready_at`.
   template <typename F>
   struct Timed {
-    F flit;
-    std::uint64_t ready_at;
+    F flit{};
+    std::uint64_t ready_at = 0;
+    template <typename V>
+    void visit_fields(V& v) {
+      visit(v, flit);
+      visit(v, ready_at);
+    }
   };
 
   Link& up_;

@@ -3,6 +3,8 @@
 #include <array>
 #include <cassert>
 
+#include "sim/state.hpp"
+
 namespace axi {
 
 // ---------------------------------------------------------------------
@@ -24,6 +26,11 @@ class Crossbar::MgrShard final : public sim::Module {
   void reset() override { prev_.fill(kNone); }
   bool tick_changed_eval_state() const override {
     return x_.st_.mgr_evt[m_] != 0;
+  }
+  void visit_state(sim::StateVisitor& v) override {
+    // The stale-wire slots are eval-relevant (they bound the sparse
+    // rewrite); the decoder hints are pure lookup caches and stay out.
+    for (auto& p : prev_) visit(v, p);
   }
 
  private:
@@ -54,6 +61,9 @@ class Crossbar::SubShard final : public sim::Module {
   void reset() override { prev_.fill(kNone); }
   bool tick_changed_eval_state() const override {
     return x_.st_.sub_evt[s_] != 0;
+  }
+  void visit_state(sim::StateVisitor& v) override {
+    for (auto& p : prev_) visit(v, p);
   }
 
  private:
@@ -596,6 +606,16 @@ void Crossbar::reset() {
   for (Link* m : mgrs_) m->rsp.force(AxiRsp{});
   for (auto& w : xreq_) w.force(AxiReq{});
   for (auto& w : xrsp_) w.force(AxiRsp{});
+}
+
+void Crossbar::visit_state(sim::StateVisitor& v) {
+  visit(v, st_);
+  // Internal shard-coupling wires are owned here, not by a Soc link, so
+  // they travel with the facade (in-place: wires are non-copyable and
+  // the row/column shape is construction-fixed).
+  for (auto& w : xreq_) visit(v, w);
+  for (auto& w : xrsp_) visit(v, w);
+  visit(v, tick_evt_);
 }
 
 }  // namespace axi

@@ -77,6 +77,10 @@ class Crossbar : public sim::Module {
   bool tick_changed_eval_state() const override { return tick_evt_; }
   void visit_submodules(
       const std::function<void(sim::Module&)>& visit) override;
+  /// Facade-owned registered state + the internal shard-coupling wires;
+  /// the shards' own scratch (stale-wire bookkeeping) rides along via
+  /// their visit_state in the netlist walk.
+  void visit_state(sim::StateVisitor& v) override;
 
   std::size_t decode_errors() const { return st_.decode_errors; }
   XbarImpl impl() const { return impl_; }

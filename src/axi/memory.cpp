@@ -1,8 +1,10 @@
 #include "axi/memory.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "axi/addr.hpp"
+#include "sim/state.hpp"
 
 namespace axi {
 
@@ -208,6 +210,51 @@ void MemorySubordinate::reset() {
   row_hits_ = row_misses_ = row_conflicts_ = 0;
   clear_inflight_ = false;
   link_.rsp.force(AxiRsp{});
+}
+
+void MemorySubordinate::visit_state(sim::StateVisitor& v) {
+  // Paged store, page-number order: the unordered map's iteration order
+  // is not part of the model's behavior, so the snapshot canonicalizes
+  // it (byte-stable capture for identical memory contents).
+  std::uint64_t n_pages = mem_.size();
+  v.count(n_pages);
+  if (v.saving()) {
+    std::vector<Addr> pnos;
+    pnos.reserve(mem_.size());
+    for (const auto& [pno, page] : mem_) pnos.push_back(pno);
+    std::sort(pnos.begin(), pnos.end());
+    for (Addr pno : pnos) {
+      v.u64(pno);
+      v.raw(mem_[pno].data(), kPageBytes);
+    }
+  } else {
+    mem_.clear();
+    for (std::uint64_t i = 0; i < n_pages; ++i) {
+      Addr pno = 0;
+      v.u64(pno);
+      v.raw(mem_[pno].data(), kPageBytes);
+    }
+    r_cache_no_ = 0;
+    r_cache_page_ = nullptr;
+    w_cache_no_ = 0;
+    w_cache_page_ = nullptr;
+  }
+  visit(v, write_q_);
+  visit(v, b_q_);
+  visit(v, read_q_);
+  visit(v, aw_wait_);
+  visit(v, ar_wait_);
+  visit(v, w_rate_cnt_);
+  visit(v, r_rate_cnt_);
+  visit(v, cycle_);
+  visit(v, writes_done_);
+  visit(v, reads_done_);
+  visit(v, bank_row_);
+  visit(v, row_hits_);
+  visit(v, row_misses_);
+  visit(v, row_conflicts_);
+  visit(v, clear_inflight_);
+  visit(v, tick_evt_);
 }
 
 }  // namespace axi

@@ -59,6 +59,7 @@ class MemorySubordinate : public sim::Module {
   void tick() override;
   void reset() override;
   bool tick_changed_eval_state() const override { return tick_evt_; }
+  void visit_state(sim::StateVisitor& v) override;
 
   /// Backdoor accessors for tests.
   std::uint8_t peek(Addr a) const {
@@ -93,16 +94,34 @@ class MemorySubordinate : public sim::Module {
     AwFlit aw;
     unsigned beats_got = 0;
     bool data_done = false;
+    template <typename V>
+    void visit_fields(V& v) {
+      visit(v, aw);
+      visit(v, beats_got);
+      visit(v, data_done);
+    }
   };
   struct ReadTxn {
     ArFlit ar;
     unsigned next_beat = 0;
     std::uint64_t ready_at = 0;
+    template <typename V>
+    void visit_fields(V& v) {
+      visit(v, ar);
+      visit(v, next_beat);
+      visit(v, ready_at);
+    }
   };
   struct PendingB {
-    Id id;
-    Resp resp;
-    std::uint64_t ready_at;
+    Id id = 0;
+    Resp resp = Resp::kOkay;
+    std::uint64_t ready_at = 0;
+    template <typename V>
+    void visit_fields(V& v) {
+      visit(v, id);
+      visit(v, resp);
+      visit(v, ready_at);
+    }
   };
 
   bool in_error_region(Addr a) const {

@@ -6,6 +6,7 @@
 #include "axi/link.hpp"
 #include "axi/types.hpp"
 #include "sim/module.hpp"
+#include "sim/state.hpp"
 
 namespace axi {
 
@@ -92,6 +93,15 @@ class RegSlice : public sim::Module {
 
   bool tick_changed_eval_state() const override { return tick_evt_; }
 
+  void visit_state(sim::StateVisitor& v) override {
+    visit(v, tick_evt_);
+    visit(v, aw_);
+    visit(v, w_);
+    visit(v, ar_);
+    visit(v, b_);
+    visit(v, r_);
+  }
+
   void reset() override {
     aw_.clear();
     w_.clear();
@@ -121,6 +131,14 @@ class RegSlice : public sim::Module {
     void clear() {
       count_ = 0;
       rd_ = 0;
+    }
+
+    template <typename V>
+    void visit_fields(V& v) {
+      visit(v, buf_[0]);
+      visit(v, buf_[1]);
+      visit(v, rd_);
+      visit(v, count_);
     }
 
    private:

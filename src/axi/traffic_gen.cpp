@@ -2,6 +2,7 @@
 
 #include "axi/addr.hpp"
 #include "sim/logger.hpp"
+#include "sim/state.hpp"
 
 namespace axi {
 
@@ -216,6 +217,34 @@ void TrafficGenerator::reset() {
   write_latency_ = {};
   read_latency_ = {};
   link_.req.force(AxiReq{});
+}
+
+void TrafficGenerator::visit_state(sim::StateVisitor& v) {
+  visit(v, rng_);
+  visit(v, random_);
+  visit(v, aw_queue_);
+  visit(v, ar_queue_);
+  visit(v, w_streams_);
+  visit(v, write_wait_);
+  visit(v, read_wait_);
+  visit(v, outstanding_writes_);
+  visit(v, outstanding_reads_);
+  visit(v, b_ready_delay_);
+  visit(v, b_wait_);
+  visit(v, r_ready_delay_);
+  visit(v, r_wait_);
+  visit(v, b_ready_reg_);
+  visit(v, r_ready_reg_);
+  visit(v, w_gap_);
+  visit(v, w_start_delay_);
+  visit(v, max_outstanding_);
+  visit(v, cycle_);
+  visit(v, tick_evt_);
+  visit(v, records_);
+  visit(v, data_mismatches_);
+  visit(v, error_responses_);
+  visit(v, write_latency_);
+  visit(v, read_latency_);
 }
 
 }  // namespace axi

@@ -23,6 +23,15 @@ struct TxnDesc {
   std::uint8_t len = 0;
   std::uint8_t size = 3;
   Burst burst = Burst::kIncr;
+  template <typename V>
+  void visit_fields(V& v) {
+    visit(v, is_write);
+    visit(v, id);
+    visit(v, addr);
+    visit(v, len);
+    visit(v, size);
+    visit(v, burst);
+  }
 };
 
 /// Completion record kept per transaction for latency analysis.
@@ -32,6 +41,14 @@ struct TxnRecord {
   std::uint64_t accept_cycle = 0;    ///< AW/AR handshake cycle
   std::uint64_t complete_cycle = 0;  ///< B handshake / R last handshake
   Resp resp = Resp::kOkay;
+  template <typename V>
+  void visit_fields(V& v) {
+    visit(v, desc);
+    visit(v, issue_cycle);
+    visit(v, accept_cycle);
+    visit(v, complete_cycle);
+    visit(v, resp);
+  }
 };
 
 /// Optional random traffic mode.
@@ -45,6 +62,20 @@ struct RandomTrafficConfig {
   std::uint8_t len_min = 0, len_max = 7;
   std::uint8_t size = 3;
   bool operator==(const RandomTrafficConfig&) const = default;
+  template <typename V>
+  void visit_fields(V& v) {
+    visit(v, enabled);
+    visit(v, p_new_txn);
+    visit(v, write_fraction);
+    visit(v, max_outstanding);
+    visit(v, id_min);
+    visit(v, id_max);
+    visit(v, addr_min);
+    visit(v, addr_max);
+    visit(v, len_min);
+    visit(v, len_max);
+    visit(v, size);
+  }
 };
 
 /// Deterministic write-data pattern so reads can be verified end to end.
@@ -107,6 +138,13 @@ class TrafficGenerator : public sim::Module {
   std::size_t data_mismatches() const { return data_mismatches_; }
   std::size_t error_responses() const { return error_responses_; }
   std::size_t pending_to_issue() const { return aw_queue_.size() + ar_queue_.size(); }
+
+  /// Restarts the random stream from a fresh seed (campaign trials fork
+  /// a warmed snapshot, then decorrelate: reseed + per-trial traffic).
+  void reseed(std::uint64_t seed) {
+    rng_ = sim::Rng(seed);
+    notify_state_change();
+  }
   const sim::RunningStats& write_latency() const { return write_latency_; }
   const sim::RunningStats& read_latency() const { return read_latency_; }
 
@@ -114,23 +152,43 @@ class TrafficGenerator : public sim::Module {
   void tick() override;
   void reset() override;
   bool tick_changed_eval_state() const override { return tick_evt_; }
+  void visit_state(sim::StateVisitor& v) override;
 
  private:
   struct PendingIssue {
     TxnDesc desc;
     std::uint64_t issue_cycle = 0;
     bool issued = false;  ///< valid currently asserted
+    template <typename V>
+    void visit_fields(V& v) {
+      visit(v, desc);
+      visit(v, issue_cycle);
+      visit(v, issued);
+    }
   };
   struct InFlight {
     TxnDesc desc;
     std::uint64_t issue_cycle = 0;
     std::uint64_t accept_cycle = 0;
     unsigned beats_seen = 0;  ///< R beats received (reads)
+    template <typename V>
+    void visit_fields(V& v) {
+      visit(v, desc);
+      visit(v, issue_cycle);
+      visit(v, accept_cycle);
+      visit(v, beats_seen);
+    }
   };
   struct WStream {
     TxnDesc desc;
     unsigned next_beat = 0;
     std::uint32_t wait = 0;  ///< cycles before first/next beat may go
+    template <typename V>
+    void visit_fields(V& v) {
+      visit(v, desc);
+      visit(v, next_beat);
+      visit(v, wait);
+    }
   };
 
   void maybe_spawn_random();

@@ -6,6 +6,11 @@
 
 namespace axi {
 
+// State-serde note: every payload/bundle struct below carries a
+// templated visit_fields() (see sim/state.hpp) so snapshots can walk
+// flit queues without this header depending on the serde layer; the
+// unqualified visit() calls resolve by ADL on the visitor argument.
+
 using Id = std::uint32_t;
 using Addr = std::uint64_t;
 /// One data beat; the models use buses up to 64 bit.
@@ -49,6 +54,14 @@ struct AwFlit {
   std::uint8_t size = 3;  ///< log2(bytes per beat), as in AWSIZE
   Burst burst = Burst::kIncr;
   bool operator==(const AwFlit&) const = default;
+  template <typename V>
+  void visit_fields(V& v) {
+    visit(v, id);
+    visit(v, addr);
+    visit(v, len);
+    visit(v, size);
+    visit(v, burst);
+  }
 };
 
 /// W channel payload (write data).
@@ -57,6 +70,12 @@ struct WFlit {
   std::uint8_t strb = 0xFF;
   bool last = false;
   bool operator==(const WFlit&) const = default;
+  template <typename V>
+  void visit_fields(V& v) {
+    visit(v, data);
+    visit(v, strb);
+    visit(v, last);
+  }
 };
 
 /// B channel payload (write response).
@@ -64,6 +83,11 @@ struct BFlit {
   Id id = 0;
   Resp resp = Resp::kOkay;
   bool operator==(const BFlit&) const = default;
+  template <typename V>
+  void visit_fields(V& v) {
+    visit(v, id);
+    visit(v, resp);
+  }
 };
 
 /// AR channel payload (read address).
@@ -74,6 +98,14 @@ struct ArFlit {
   std::uint8_t size = 3;
   Burst burst = Burst::kIncr;
   bool operator==(const ArFlit&) const = default;
+  template <typename V>
+  void visit_fields(V& v) {
+    visit(v, id);
+    visit(v, addr);
+    visit(v, len);
+    visit(v, size);
+    visit(v, burst);
+  }
 };
 
 /// R channel payload (read data).
@@ -83,6 +115,13 @@ struct RFlit {
   Resp resp = Resp::kOkay;
   bool last = false;
   bool operator==(const RFlit&) const = default;
+  template <typename V>
+  void visit_fields(V& v) {
+    visit(v, id);
+    visit(v, data);
+    visit(v, resp);
+    visit(v, last);
+  }
 };
 
 /// Manager -> subordinate signal bundle (requests + response readies),
@@ -97,6 +136,17 @@ struct AxiReq {
   bool ar_valid = false;
   bool r_ready = false;
   bool operator==(const AxiReq&) const = default;
+  template <typename V>
+  void visit_fields(V& v) {
+    visit(v, aw);
+    visit(v, aw_valid);
+    visit(v, w);
+    visit(v, w_valid);
+    visit(v, b_ready);
+    visit(v, ar);
+    visit(v, ar_valid);
+    visit(v, r_ready);
+  }
 };
 
 /// Subordinate -> manager signal bundle (readies + responses),
@@ -110,6 +160,16 @@ struct AxiRsp {
   RFlit r{};
   bool r_valid = false;
   bool operator==(const AxiRsp&) const = default;
+  template <typename V>
+  void visit_fields(V& v) {
+    visit(v, aw_ready);
+    visit(v, w_ready);
+    visit(v, b);
+    visit(v, b_valid);
+    visit(v, ar_ready);
+    visit(v, r);
+    visit(v, r_valid);
+  }
 };
 
 /// Number of beats in a burst described by an AXI len field.

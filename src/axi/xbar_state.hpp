@@ -136,11 +136,22 @@ class IdRouteTable {
 
   void clear() { entries_.clear(); }
 
+  template <typename V>
+  void visit_fields(V& v) {
+    visit(v, entries_);
+  }
+
  private:
   struct Entry {
     Id id = 0;
     std::size_t sub = 0;
     unsigned count = 0;
+    template <typename V>
+    void visit_fields(V& v) {
+      visit(v, id);
+      visit(v, sub);
+      visit(v, count);
+    }
   };
 
   const Entry* find(Id id) const {
@@ -168,12 +179,22 @@ class IdRouteTable {
 struct DecErrWrite {
   Id id = 0;
   bool data_done = false;  ///< wlast seen
+  template <typename V>
+  void visit_fields(V& v) {
+    visit(v, id);
+    visit(v, data_done);
+  }
 };
 
 /// Outstanding read towards the internal DECERR subordinate.
 struct DecErrRead {
   Id id = 0;
   unsigned beats_left = 0;  ///< R beats still to send
+  template <typename V>
+  void visit_fields(V& v) {
+    visit(v, id);
+    visit(v, beats_left);
+  }
 };
 
 /// All registered (clocked) crossbar state, shared between the sharded
@@ -241,6 +262,25 @@ struct XbarState {
       if (t.data_done) return &t;
     }
     return nullptr;
+  }
+
+  /// State serde: registered state only — the shape fields (n_m, n_s,
+  /// id bits) and the decoder are construction-time and never change.
+  template <typename V>
+  void visit_fields(V& v) {
+    visit(v, w_route);
+    visit(v, mgr_w_route);
+    visit(v, aw_rr);
+    visit(v, ar_rr);
+    visit(v, b_rr);
+    visit(v, r_rr);
+    visit(v, aw_id_route);
+    visit(v, ar_id_route);
+    visit(v, dec_w);
+    visit(v, dec_r);
+    visit(v, decode_errors);
+    visit(v, mgr_evt);
+    visit(v, sub_evt);
   }
 
   void clear() {

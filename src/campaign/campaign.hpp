@@ -9,6 +9,7 @@
 #include "fault/injector.hpp"
 #include "obs/metrics.hpp"
 #include "sim/stats.hpp"
+#include "soc/builder.hpp"
 #include "soc/topologies.hpp"
 #include "tmu/config.hpp"
 #include "trace/format.hpp"
@@ -49,7 +50,18 @@ struct TrialSpec {
   std::uint64_t inject_delay_max = 500;  ///< injection delay drawn in [0, max]
   std::uint64_t detect_budget = 4000;    ///< cycles after injection delay
   std::uint64_t soak_cycles = 10000;     ///< run length for healthy trials
-  /// Hard watchdog ceiling on total cycles simulated by the trial; 0
+  /// Fault-free warm-up phase run before the fault window opens (cycles
+  /// of traffic with the DESC's own manager seed — not the per-trial
+  /// seed, so the warm-up is common to every trial of a scenario). After
+  /// warm-up the driven manager is reseeded with the trial seed and the
+  /// fault is armed; budgets below count from the warm-up boundary. The
+  /// engine's snapshot-fork path (make_forking_trial_fn) runs the
+  /// warm-up once per distinct (desc, cfg, traffic, trace_links,
+  /// warmup_cycles) group and forks every trial from the captured state
+  /// — byte-identical to cold-starting each trial, just cheaper.
+  std::uint64_t warmup_cycles = 0;
+  /// Hard watchdog ceiling on cycles simulated past the warm-up
+  /// boundary; 0
   /// derives it from the budgets above (saturating, so a deliberately
   /// huge detect_budget still gets a finite ceiling). A trial clipped by
   /// the ceiling terminates with TrialResult::timed_out set instead of
@@ -113,6 +125,23 @@ using TrialFn = std::function<TrialResult(const TrialSpec&)>;
 /// thread. Throws std::invalid_argument if the desc lacks a leading
 /// traffic_gen manager, a guard, or the injector the fault point needs.
 TrialResult run_fault_trial(const TrialSpec& spec);
+
+/// The post-warm-up body of run_fault_trial, entered on a netlist that
+/// already carries the trial desc's warmed state (either freshly warmed
+/// in place or restored from a snapshot::Snapshot fork). Reseeds the
+/// driven manager with spec.seed when the spec has a warm-up phase, then
+/// arms/runs/collects exactly as the cold path does.
+TrialResult finish_fault_trial(const TrialSpec& spec, soc::Soc& soc);
+
+/// A TrialFn equivalent to run_fault_trial that amortizes warm-up
+/// across trials: the first trial of each warm-up group (same desc, TMU
+/// config, traffic, trace links and warmup_cycles — per-trial seed and
+/// fault point excluded) runs the warm-up once and captures a
+/// snapshot::Snapshot; every other trial of the group forks from it.
+/// Thread-safe (workers arriving while the warm-up runs block on its
+/// shared future); results are byte-identical to run_fault_trial for
+/// every spec. Trials without a warm-up phase pass straight through.
+TrialFn make_forking_trial_fn();
 
 /// A labelled group of trials (e.g. one variant x fault-point pair).
 struct Scenario {
@@ -201,6 +230,11 @@ struct EngineOptions {
   unsigned threads = 0;
   /// Base seed for deriving per-trial seeds where TrialSpec.seed == 0.
   std::uint64_t base_seed = 0xC0FFEEull;
+  /// Amortize TrialSpec::warmup_cycles across trials by snapshot-forking
+  /// (see make_forking_trial_fn). Only applies when run() is called
+  /// without an explicit TrialFn; reports are byte-identical either way,
+  /// so this is purely a throughput switch.
+  bool snapshot_fork = true;
 };
 
 /// Thread-pool-sharded campaign runner. Workers pull trial indices from
@@ -216,8 +250,12 @@ class Engine {
   /// Effective worker count after resolving threads == 0.
   unsigned threads() const { return threads_; }
 
+  /// Runs the campaign. An empty `fn` (the default) means the standard
+  /// fault trial, with warm-up snapshot-forking when
+  /// EngineOptions::snapshot_fork is set; passing a TrialFn explicitly
+  /// (including run_fault_trial itself) runs it as-is, cold.
   Report run(const std::vector<Scenario>& scenarios,
-             const TrialFn& fn = run_fault_trial) const;
+             const TrialFn& fn = {}) const;
 
  private:
   EngineOptions opts_;

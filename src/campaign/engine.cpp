@@ -137,6 +137,13 @@ Engine::Engine(EngineOptions opts) : opts_(opts) {
 
 Report Engine::run(const std::vector<Scenario>& scenarios,
                    const TrialFn& fn) const {
+  // Empty fn = the standard fault trial; snapshot_fork chooses between
+  // the warm-up-amortizing runner and the cold one. The fork cache lives
+  // in this TrialFn, so it is scoped to this run() call.
+  const TrialFn body =
+      fn ? fn
+         : (opts_.snapshot_fork ? make_forking_trial_fn()
+                                : TrialFn(run_fault_trial));
   const std::vector<TrialSpec> specs =
       flatten_trials(scenarios, opts_.base_seed);
 
@@ -156,7 +163,7 @@ Report Engine::run(const std::vector<Scenario>& scenarios,
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= specs.size()) return;
       try {
-        rep.results[i] = fn(specs[i]);
+        rep.results[i] = body(specs[i]);
       } catch (const std::exception& e) {
         // A throwing trial is data, not a campaign abort: the failure
         // lands in the trial's own result slot (deterministic at any

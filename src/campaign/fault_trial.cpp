@@ -1,19 +1,29 @@
 #include <algorithm>
+#include <future>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 
 #include "campaign/campaign.hpp"
 #include "sim/kernel.hpp"
 #include "sim/random.hpp"
+#include "snapshot/snapshot.hpp"
 #include "soc/builder.hpp"
 #include "tmu/tmu.hpp"
 #include "trace/recorder.hpp"
 
 namespace campaign {
 
-TrialResult run_fault_trial(const TrialSpec& spec) {
-  // Private netlist per trial, elaborated from the spec's topology desc
-  // (default: the Fig. 8/9 IP-level testbench). Nothing escapes this
-  // stack frame, so trials are safe on any worker thread.
+namespace {
+
+/// The elaboration desc for a trial: validates the driving manager and
+/// the monitored guard, applies the spec's TMU config override and
+/// per-trial capture points. With a warm-up phase the manager keeps the
+/// desc's own seed — the warm-up is common across a scenario's trials
+/// (that is what makes it fork-shareable) and the per-trial seed lands
+/// via TrafficGenerator::reseed at the warm-up boundary.
+soc::SocDesc make_trial_desc(const TrialSpec& spec) {
   soc::SocDesc d = spec.desc;
   if (d.managers.empty() ||
       d.managers.front().kind != soc::ManagerKind::kTrafficGen) {
@@ -29,25 +39,70 @@ TrialResult run_fault_trial(const TrialSpec& spec) {
     throw std::invalid_argument("run_fault_trial: desc '" + d.name +
                                 "' declares no guard (TMU) to monitor");
   }
-  d.managers.front().seed = spec.seed;
+  if (spec.warmup_cycles == 0) d.managers.front().seed = spec.seed;
   monitored->cfg = spec.cfg;
   // Per-trial capture points ride the declarative traces mechanism, so
   // they are validated (and hash-covered) exactly like desc-native ones.
   for (const std::string& link : spec.trace_links) {
     d.traces.push_back(soc::TraceDesc{"trace." + link, link});
   }
+  return d;
+}
 
-  const std::unique_ptr<soc::Soc> soc = soc::SocBuilder::build(d);
-  sim::Simulator& s = soc->sim();
+/// Applies the spec's traffic override and runs the warm-up phase (a
+/// no-op for warmup_cycles == 0). This is everything a warm-up snapshot
+/// captures; nothing here may depend on the per-trial seed/fault point.
+void apply_traffic_and_warm(const TrialSpec& spec, soc::Soc& soc) {
+  const soc::SocDesc& d = soc.desc();
   axi::TrafficGenerator& gen =
-      soc->get<axi::TrafficGenerator>(d.managers.front().name);
-  const soc::GuardDesc& guard = *monitored;
-  tmu::Tmu& t = soc->get<tmu::Tmu>(guard.name);
+      soc.get<axi::TrafficGenerator>(d.managers.front().name);
   // spec.traffic drives the trial; a default (disabled) spec must not
   // clobber the traffic mode a custom desc configured for its manager.
   if (spec.traffic.enabled || !d.managers.front().traffic.enabled) {
     gen.set_random(spec.traffic);
   }
+  if (spec.warmup_cycles > 0) soc.sim().run(spec.warmup_cycles);
+}
+
+/// The warm-up sharing key: the spec with every per-trial field
+/// neutralized. Two specs with equal keys run the identical warm-up
+/// phase on the identical netlist, so one snapshot serves both.
+TrialSpec warmup_key_of(const TrialSpec& spec) {
+  TrialSpec key = spec;
+  key.seed = 0;
+  key.point = fault::FaultPoint::kNone;
+  key.inject_delay_max = 0;
+  key.detect_budget = 0;
+  key.soak_cycles = 0;
+  key.max_cycles = 0;
+  key.exercise_recovery = false;
+  return key;
+}
+
+}  // namespace
+
+TrialResult run_fault_trial(const TrialSpec& spec) {
+  // Private netlist per trial, elaborated from the spec's topology desc
+  // (default: the Fig. 8/9 IP-level testbench). Nothing escapes this
+  // stack frame, so trials are safe on any worker thread.
+  const soc::SocDesc d = make_trial_desc(spec);
+  const std::unique_ptr<soc::Soc> soc = soc::SocBuilder::build(d);
+  apply_traffic_and_warm(spec, *soc);
+  return finish_fault_trial(spec, *soc);
+}
+
+TrialResult finish_fault_trial(const TrialSpec& spec, soc::Soc& soc) {
+  soc::SocDesc d = soc.desc();
+  sim::Simulator& s = soc.sim();
+  axi::TrafficGenerator& gen =
+      soc.get<axi::TrafficGenerator>(d.managers.front().name);
+  const soc::GuardDesc& guard = *soc::first_guard(d);
+  tmu::Tmu& t = soc.get<tmu::Tmu>(guard.name);
+  // The warm-up boundary: the per-trial seed takes over from here, so
+  // everything after this line is a function of (snapshot state, spec
+  // seed, fault point) — identical whether the state was warmed in
+  // place or restored from a fork.
+  if (spec.warmup_cycles > 0) gen.reseed(spec.seed);
 
   TrialResult r;
 
@@ -57,6 +112,8 @@ TrialResult run_fault_trial(const TrialSpec& spec) {
   // The derived default covers everything the budgeted phases can
   // legitimately use, so well-budgeted trials are never clipped; sums
   // saturate so deliberately huge budgets still yield a finite ceiling.
+  // Budgets count from the warm-up boundary (s.cycle() == 0 without a
+  // warm-up phase, so this is the historical behaviour for cold trials).
   constexpr std::uint64_t kRecoveryBudget = 2000;
   const auto sat_add = [](std::uint64_t a, std::uint64_t b) {
     const std::uint64_t sum = a + b;
@@ -69,6 +126,7 @@ TrialResult run_fault_trial(const TrialSpec& spec) {
                   : sat_add(spec.inject_delay_max, spec.detect_budget);
     if (spec.exercise_recovery) ceiling = sat_add(ceiling, 2 * kRecoveryBudget);
   }
+  ceiling = sat_add(ceiling, s.cycle());
   // Cycles the watchdog still allows for the next phase.
   const auto capped = [&](std::uint64_t want) {
     const std::uint64_t left = ceiling > s.cycle() ? ceiling - s.cycle() : 0;
@@ -93,7 +151,7 @@ TrialResult run_fault_trial(const TrialSpec& spec) {
           (mgr_side ? "mgr_injector" : "sub_injector") + " on guard '" +
           guard.name + "' of desc '" + d.name + "'");
     }
-    fault::FaultInjector& inj = soc->get<fault::FaultInjector>(inj_name);
+    fault::FaultInjector& inj = soc.get<fault::FaultInjector>(inj_name);
 
     // Decorrelate the injection-delay draw from the traffic stream.
     sim::Rng rng(spec.seed ^ 0xD1B54A32D192ED03ull);
@@ -135,7 +193,7 @@ TrialResult run_fault_trial(const TrialSpec& spec) {
   // know the scheduler and vice versa; the trial is the seam). Zero-eval
   // modules are elided so grid-sized reports stay proportional to
   // activity.
-  r.metrics = soc->metrics().snapshot();
+  r.metrics = soc.metrics().snapshot();
   const sim::sched::SchedProfile prof = s.sched_profile();
   for (const auto& mp : prof.modules) {
     if (mp.evals != 0) {
@@ -151,9 +209,64 @@ TrialResult run_fault_trial(const TrialSpec& spec) {
   // Captured streams, desc order (desc-native traces first, then the
   // spec's trace_links — exactly the order appended above).
   for (const soc::TraceDesc& td : d.traces) {
-    r.traces.push_back(soc->get<trace::Recorder>(td.name).take());
+    r.traces.push_back(soc.get<trace::Recorder>(td.name).take());
   }
   return r;
+}
+
+TrialFn make_forking_trial_fn() {
+  struct Cache {
+    struct Entry {
+      TrialSpec key;
+      std::shared_future<std::shared_ptr<const snapshot::Snapshot>> snap;
+    };
+    std::mutex mu;
+    std::vector<Entry> entries;  // few groups; structural-compare lookup
+  };
+  auto cache = std::make_shared<Cache>();
+  return [cache](const TrialSpec& spec) -> TrialResult {
+    if (spec.warmup_cycles == 0) return run_fault_trial(spec);
+
+    const TrialSpec key = warmup_key_of(spec);
+    std::promise<std::shared_ptr<const snapshot::Snapshot>> mine;
+    std::shared_future<std::shared_ptr<const snapshot::Snapshot>> fut;
+    bool producer = false;
+    {
+      std::lock_guard<std::mutex> lock(cache->mu);
+      for (const Cache::Entry& e : cache->entries) {
+        if (e.key == key) {
+          fut = e.snap;
+          break;
+        }
+      }
+      if (!fut.valid()) {
+        fut = mine.get_future().share();
+        cache->entries.push_back(Cache::Entry{key, fut});
+        producer = true;
+      }
+    }
+    if (producer) {
+      // Run the shared warm-up outside the lock; waiters block on the
+      // future. A warm-up failure is delivered to every trial of the
+      // group — the same exception the cold path would throw per trial.
+      try {
+        const soc::SocDesc d = make_trial_desc(key);
+        const std::unique_ptr<soc::Soc> warm = soc::SocBuilder::build(d);
+        apply_traffic_and_warm(key, *warm);
+        mine.set_value(
+            std::make_shared<const snapshot::Snapshot>(snapshot::capture(*warm)));
+      } catch (...) {
+        mine.set_exception(std::current_exception());
+      }
+    }
+    const std::shared_ptr<const snapshot::Snapshot> snap = fut.get();
+    // Fork: fresh netlist from the same desc, warmed state restored in.
+    // make_trial_desc(spec) == make_trial_desc(key): with a warm-up
+    // phase the desc carries no per-trial field.
+    const std::unique_ptr<soc::Soc> soc =
+        snapshot::fork(*snap, make_trial_desc(spec));
+    return finish_fault_trial(spec, *soc);
+  };
 }
 
 }  // namespace campaign

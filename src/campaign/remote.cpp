@@ -105,6 +105,10 @@ void emit_trial_run(Emitter& e, const TrialSpec& t, std::uint64_t count,
   e.u64("detect_budget", t.detect_budget);
   e.u64("soak_cycles", t.soak_cycles);
   e.u64("max_cycles", t.max_cycles);
+  // Schema-compatible optional: absent means 0, and specs without a
+  // warm-up phase keep emitting byte-identical v1 documents (older
+  // readers, with their unknown-key strictness, still accept them).
+  if (t.warmup_cycles != 0) e.u64("warmup_cycles", t.warmup_cycles);
   e.boolean("exercise_recovery", t.exercise_recovery);
   e.open_arr("trace_links");
   for (const std::string& l : t.trace_links) e.str_elem(l);
@@ -144,6 +148,7 @@ void parse_trial_run(const Json& v, const std::string& where,
   r.get_u("detect_budget", t.detect_budget);
   r.get_u("soak_cycles", t.soak_cycles);
   r.get_u("max_cycles", t.max_cycles);
+  r.get_u("warmup_cycles", t.warmup_cycles);
   r.get("exercise_recovery", t.exercise_recovery);
   if (const Json* links = r.take("trace_links")) {
     if (links->kind != Json::Kind::kArray) {

@@ -7,6 +7,7 @@
 #include "axi/link.hpp"
 #include "axi/types.hpp"
 #include "sim/module.hpp"
+#include "sim/state.hpp"
 
 namespace fault {
 
@@ -119,6 +120,18 @@ class FaultInjector : public sim::Module {
   /// notify precisely).
   bool tick_changed_eval_state() const override {
     return point_ != FaultPoint::kNone;
+  }
+
+  void visit_state(sim::StateVisitor& v) override {
+    visit(v, point_);
+    visit(v, at_cycle_);
+    visit(v, after_w_beats_);
+    visit(v, after_r_beats_);
+    visit(v, started_);
+    visit(v, start_cycle_);
+    visit(v, cycle_);
+    visit(v, w_beats_);
+    visit(v, r_beats_);
   }
 
  private:

@@ -8,6 +8,7 @@
 #include "axi/link.hpp"
 #include "obs/metrics.hpp"
 #include "sim/module.hpp"
+#include "sim/state.hpp"
 
 namespace obs {
 
@@ -100,6 +101,14 @@ class LatencyProbe : public sim::Module {
     // Registry slots are intentionally NOT cleared: the registry owner
     // decides snapshot boundaries (call MetricsRegistry::reset_values
     // to zero every slot between measurement windows).
+  }
+
+  /// State serde (sim/state.hpp): only the in-flight tracking is local
+  /// state — the published slot values travel with the MetricsRegistry.
+  void visit_state(sim::StateVisitor& v) override {
+    visit(v, w_start_);
+    visit(v, r_start_);
+    visit(v, cycle_);
   }
 
   std::uint64_t write_txns() const { return write_txns_.value(); }

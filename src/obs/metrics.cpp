@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "sim/jsonfmt.hpp"
+#include "sim/state.hpp"
 
 namespace obs {
 
@@ -48,6 +49,37 @@ void MetricsRegistry::reset_values() {
   for (auto& [name, c] : counters_) c.set(0);
   for (auto& [name, rs] : stats_) rs = {};
   for (auto& [name, h] : histograms_) h = {};
+}
+
+void MetricsRegistry::visit_state(sim::StateVisitor& v) {
+  // One strictly-checked pass per kind: name-sorted (name, value) pairs.
+  // The name check pins that the restoring netlist registered the exact
+  // same slots — a registry is structure, only the values travel.
+  const auto section = [&](auto& slots, const char* what, auto&& value_of) {
+    std::uint64_t n = slots.size();
+    v.count(n);
+    if (!v.saving() && n != slots.size()) {
+      v.fail(std::string("metrics registry has ") +
+             std::to_string(slots.size()) + " " + what +
+             " slots, snapshot has " + std::to_string(n));
+    }
+    for (auto& [name, slot] : slots) {
+      std::string nm = name;
+      v.str(nm);
+      if (!v.saving() && nm != name) {
+        v.fail(std::string("metrics registry ") + what + " slot '" + name +
+               "' does not match snapshot slot '" + nm + "'");
+      }
+      value_of(slot);
+    }
+  };
+  section(counters_, "counter", [&](Counter& c) {
+    std::uint64_t val = c.value();
+    v.u64(val);
+    if (!v.saving()) c.set(val);
+  });
+  section(stats_, "stats", [&](sim::RunningStats& rs) { visit(v, rs); });
+  section(histograms_, "histogram", [&](sim::Histogram& h) { visit(v, h); });
 }
 
 void MetricsSnapshot::merge(const MetricsSnapshot& o) {

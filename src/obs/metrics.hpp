@@ -6,6 +6,10 @@
 
 #include "sim/stats.hpp"
 
+namespace sim {
+class StateVisitor;
+}
+
 /// Unified observability layer: a per-netlist metrics registry that
 /// modules publish into, plus value-type snapshots that serialize
 /// deterministically and merge exactly (campaign shards, remote
@@ -83,6 +87,13 @@ class MetricsRegistry {
   std::size_t size() const {
     return counters_.size() + stats_.size() + histograms_.size();
   }
+
+  /// State serde (sim/state.hpp): every slot's name and current value,
+  /// name-sorted. Load restores values in place into an
+  /// identically-registered registry (same netlist built from the same
+  /// desc) and fails loudly on any name or slot-count mismatch —
+  /// registration itself is construction-time and is not serialized.
+  void visit_state(sim::StateVisitor& v);
 
  private:
   void claim(const std::string& name, char kind);

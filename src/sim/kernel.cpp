@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "sim/state.hpp"
 #include "sim/wire.hpp"
 
 namespace sim {
@@ -104,6 +105,28 @@ void Simulator::throw_full_sweep_divergence() {
     if (ctx_->epoch() != e0) dirty.push_back(m);
   }
   throw ConvergenceError(detail::divergence_message(dirty));
+}
+
+void Simulator::visit_checkpoint(StateVisitor& v) {
+  v.set_wire_tag(sched_.wire_tag_base());
+  std::uint32_t pol = static_cast<std::uint32_t>(policy_);
+  v.u32(pol);
+  if (!v.saving() && pol != static_cast<std::uint32_t>(policy_)) {
+    v.fail(std::string("snapshot captured under sched policy '") +
+           sched::to_string(static_cast<sched::SchedPolicy>(pol)) +
+           "' but the restoring simulator uses '" +
+           sched::to_string(policy_) + "'");
+  }
+  visit(v, cycle_);
+  visit(v, eval_passes_);
+  visit(v, module_evals_);
+  sched_.visit_checkpoint(v);
+  if (!v.saving()) {
+    settled_ = true;
+    settled_epoch_ = ctx_->epoch();
+    settled_ambient_epoch_ = ambient_epoch();
+    sched_.sync_epoch();
+  }
 }
 
 void Simulator::step() {

@@ -151,6 +151,21 @@ class Simulator {
   SimContext& context() { return *ctx_; }
   const SimContext& context() const { return *ctx_; }
 
+  /// Registered modules in registration order, compound modules'
+  /// internal shards included right after their facade — the order the
+  /// snapshot layer walks per-module state in.
+  const std::vector<Module*>& modules() const { return modules_; }
+
+  /// Checkpoint serde (sim/state.hpp), driven by the snapshot layer as
+  /// the FIRST stop of the netlist walk: cycle/eval counters plus the
+  /// scheduler checkpoint, and — on load — seeds the visitor's wire
+  /// re-tag base and re-establishes the settled-state cache (the capture
+  /// contract is a settled netlist; restoring wire values bypasses the
+  /// change epoch on purpose). The snapshot records the sched policy and
+  /// load fails on a mismatch: worklist contents and eval counters are
+  /// policy-dependent, so a cross-policy restore could not be exact.
+  void visit_checkpoint(StateVisitor& v);
+
  private:
   void settle_full_sweep();
   void settle_event_driven();

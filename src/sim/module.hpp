@@ -9,6 +9,8 @@
 
 namespace sim {
 
+class StateVisitor;
+
 /// Base class for all cycle-level hardware models.
 ///
 /// The kernel drives each cycle in two phases:
@@ -58,6 +60,15 @@ class Module {
   /// traced separately and wake reader modules regardless of this
   /// report, so the contract covers non-wire register state only.
   virtual bool tick_changed_eval_state() const { return true; }
+
+  /// State-serde hook (sim/state.hpp): list every register, queue and
+  /// counter that survives a cycle boundary, once, in a fixed order —
+  /// the same walk serializes (save visitor) and restores (load
+  /// visitor), so a round-trip is exact by construction. Stateless
+  /// modules keep the empty default. Output wires owned by the module
+  /// are visited here too when they are not part of a Soc link (the
+  /// snapshot layer walks links separately).
+  virtual void visit_state(StateVisitor& v) { (void)v; }
 
   const std::string& name() const { return name_; }
 

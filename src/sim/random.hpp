@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace sim {
@@ -42,6 +43,15 @@ class Rng {
     if (p <= 0.0) return false;
     if (p >= 1.0) return true;
     return static_cast<double>(next() >> 11) * 0x1.0p-53 < p;
+  }
+
+  /// Raw stream state, for snapshot/restore: a restored Rng continues
+  /// the exact sequence the captured one would have produced.
+  std::array<std::uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) state_[i] = s[i];
   }
 
  private:

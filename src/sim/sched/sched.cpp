@@ -6,6 +6,7 @@
 
 #include "sim/kernel.hpp"
 #include "sim/module.hpp"
+#include "sim/state.hpp"
 
 namespace sim::sched {
 
@@ -179,6 +180,106 @@ SchedProfile EventScheduler::profile() const {
   }
   p.dirty_depth = depth_hist_;
   return p;
+}
+
+void EventScheduler::visit_checkpoint(StateVisitor& v) {
+  // Structural guard: the restoring scheduler must hold the same module
+  // registry (building both sides from the same desc guarantees it).
+  std::uint64_t n_modules = modules_.size();
+  visit(v, n_modules);
+  if (!v.saving() && n_modules != modules_.size()) {
+    v.fail("scheduler module count mismatch: snapshot has " +
+           std::to_string(n_modules) + ", restoring netlist has " +
+           std::to_string(modules_.size()));
+  }
+
+  visit(v, n_wires_);
+
+  // Which modules completed their first traced eval (controls whether a
+  // new edge counts as a sensitivity miss).
+  for (auto& d : discovered_) {
+    bool b = d != 0;
+    v.boolean(b);
+    if (!v.saving()) d = b ? 1 : 0;
+  }
+
+  // Fan-out lists, exact order: wake order feeds the drain's FIFO, so
+  // list order is behavior, not just structure.
+  visit(v, fanout_);
+  if (!v.saving() && fanout_.size() != n_wires_) {
+    v.fail("scheduler fan-out table has " + std::to_string(fanout_.size()) +
+           " wires, header says " + std::to_string(n_wires_));
+  }
+
+  // Pending worklist (the active queue region). Empty at a settled
+  // capture point under the event-driven policy; under the full sweep
+  // it carries the registration-time wakes the sweep never drains.
+  std::vector<std::uint32_t> pending;
+  if (v.saving()) {
+    pending.assign(queue_.begin() + static_cast<std::ptrdiff_t>(head_),
+                   queue_.end());
+  }
+  visit(v, pending);
+  if (!v.saving()) {
+    queue_ = std::move(pending);
+    head_ = 0;
+    std::fill(dirty_.begin(), dirty_.end(), 0);
+    for (const std::uint32_t m : queue_) {
+      if (m >= modules_.size()) {
+        v.fail("scheduler worklist names module " + std::to_string(m) +
+               " out of range");
+      }
+      dirty_[m] = 1;
+    }
+  }
+
+  visit(v, stats_.module_evals);
+  visit(v, stats_.drains);
+  visit(v, stats_.wire_writes);
+  visit(v, stats_.wakeups);
+  visit(v, stats_.sensitivity_misses);
+  visit(v, stats_.full_invalidations);
+  std::uint64_t wires = stats_.wires;
+  std::uint64_t edges = stats_.edges;
+  visit(v, wires);
+  visit(v, edges);
+
+  visit(v, profiling_);
+  visit(v, prof_evals_);
+  visit(v, prof_wire_wakes_);
+  visit(v, prof_tick_wakes_);
+  visit(v, prof_notify_wakes_);
+  visit(v, prof_full_wakes_);
+  visit(v, prof_misses_);
+  visit(v, depth_hist_);
+
+  if (!v.saving()) {
+    stats_.wires = static_cast<std::size_t>(wires);
+    stats_.edges = static_cast<std::size_t>(edges);
+    for (const auto* arr : {&prof_evals_, &prof_wire_wakes_,
+                            &prof_tick_wakes_, &prof_notify_wakes_,
+                            &prof_full_wakes_, &prof_misses_}) {
+      if (arr->size() != modules_.size()) {
+        v.fail("scheduler profile array size mismatch");
+      }
+    }
+    // Rebuild read-sets as the fan-out inverse (read_set_ and fanout_
+    // are two views of the same edge set).
+    read_set_.assign(modules_.size(), {});
+    for (std::uint32_t w = 0; w < fanout_.size(); ++w) {
+      for (const std::uint32_t m : fanout_[w]) {
+        if (m >= modules_.size()) {
+          v.fail("scheduler fan-out names module " + std::to_string(m) +
+                 " out of range");
+        }
+        auto& rs = read_set_[m];
+        if (rs.size() < n_wires_) rs.resize(n_wires_, false);
+        rs[w] = true;
+      }
+    }
+    cur_ = kNoModule;
+    accounted_epoch_ = ctx_.epoch();
+  }
 }
 
 void EventScheduler::throw_divergence() {

@@ -11,6 +11,7 @@
 
 namespace sim {
 class Module;
+class StateVisitor;
 }
 
 namespace sim::sched {
@@ -111,6 +112,22 @@ class EventScheduler final : public detail::WireTrace,
   /// A coherent copy of the per-module profile (registration order)
   /// and the dirty-depth histogram accumulated so far.
   SchedProfile profile() const;
+
+  /// This scheduler's wire-slot owner tag, shifted into the slot's tag
+  /// field — the base a snapshot loader re-tags restored wire slots with
+  /// (StateVisitor::set_wire_tag).
+  std::uint64_t wire_tag_base() const { return tag_ << 32; }
+
+  /// Checkpoint serde (sim/state.hpp): the discovered sensitivity
+  /// structure (wire count, fan-out lists — wake order is part of the
+  /// drain's deterministic behavior), the pending worklist, and every
+  /// observability counter, so a restored scheduler continues with the
+  /// exact counters and wake behavior the captured one would have had.
+  /// Load requires the restoring scheduler to hold the same module
+  /// registry (same netlist, registered in the same order); read-sets
+  /// are rebuilt as the fan-out inverse and the epoch accounting is
+  /// resynchronized to the restoring context.
+  void visit_checkpoint(StateVisitor& v);
 
  private:
   static constexpr std::uint32_t kNoModule = 0xFFFF'FFFFu;

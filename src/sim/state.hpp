@@ -1,0 +1,345 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+#include "sim/wire.hpp"
+
+/// Symmetric state-serde: the reflection layer behind simulation-state
+/// snapshots (src/snapshot/). One visitor interface serves both
+/// directions — each module implements a single visit_state() that lists
+/// its registers once, and the visitor's mode decides whether the walk
+/// serializes or restores them. The symmetry is the correctness
+/// argument: a field cannot be saved without being loaded in the same
+/// order (or vice versa), so a round-trip is exact by construction and a
+/// save/load asymmetry is impossible to write.
+///
+/// Encoding (fixed, platform-independent): every primitive is
+/// little-endian fixed-width, bool is one strict 0/1 byte, and doubles
+/// travel as their IEEE-754 bit pattern — bit-exact restore, which the
+/// forked-trial equivalence gates depend on. Loaders are strict:
+/// underruns, bad bools and container counts exceeding the remaining
+/// payload all abort through fail() with a named error.
+namespace sim {
+
+class StateVisitor {
+ public:
+  virtual ~StateVisitor() = default;
+
+  StateVisitor(const StateVisitor&) = delete;
+  StateVisitor& operator=(const StateVisitor&) = delete;
+
+  bool saving() const { return saving_; }
+
+  /// Aborts the walk with a named error (loaders throw; savers should
+  /// never reach a fail() call for in-contract state).
+  [[noreturn]] virtual void fail(const std::string& msg) = 0;
+
+  void u64(std::uint64_t& x) {
+    unsigned char b[8];
+    if (saving_) {
+      for (int i = 0; i < 8; ++i) {
+        b[i] = static_cast<unsigned char>(x >> (8 * i));
+      }
+    }
+    bytes(b, 8);
+    if (!saving_) {
+      x = 0;
+      for (int i = 0; i < 8; ++i) x |= std::uint64_t{b[i]} << (8 * i);
+    }
+  }
+
+  void u32(std::uint32_t& x) {
+    unsigned char b[4];
+    if (saving_) {
+      for (int i = 0; i < 4; ++i) {
+        b[i] = static_cast<unsigned char>(x >> (8 * i));
+      }
+    }
+    bytes(b, 4);
+    if (!saving_) {
+      x = 0;
+      for (int i = 0; i < 4; ++i) x |= std::uint32_t{b[i]} << (8 * i);
+    }
+  }
+
+  void u16(std::uint16_t& x) {
+    unsigned char b[2];
+    if (saving_) {
+      b[0] = static_cast<unsigned char>(x);
+      b[1] = static_cast<unsigned char>(x >> 8);
+    }
+    bytes(b, 2);
+    if (!saving_) {
+      x = static_cast<std::uint16_t>(std::uint16_t{b[0]} |
+                                     (std::uint16_t{b[1]} << 8));
+    }
+  }
+
+  void u8(std::uint8_t& x) {
+    unsigned char b[1];
+    if (saving_) b[0] = x;
+    bytes(b, 1);
+    if (!saving_) x = b[0];
+  }
+
+  void boolean(bool& x) {
+    std::uint8_t v = x ? 1 : 0;
+    u8(v);
+    if (!saving_) {
+      if (v > 1) fail("bool byte is not 0 or 1");
+      x = v != 0;
+    }
+  }
+
+  /// IEEE-754 bit pattern (bit-exact round-trip, NaN payloads included).
+  void f64(double& x) {
+    std::uint64_t bits = 0;
+    if (saving_) {
+      static_assert(sizeof(double) == sizeof(std::uint64_t));
+      __builtin_memcpy(&bits, &x, sizeof(bits));
+    }
+    u64(bits);
+    if (!saving_) __builtin_memcpy(&x, &bits, sizeof(bits));
+  }
+
+  /// Container element count: on load, bounded by the remaining payload
+  /// (every element costs at least one byte), so a corrupted count can
+  /// never drive an allocation the payload couldn't back.
+  void count(std::uint64_t& n) {
+    u64(n);
+    if (!saving_ && n > remaining()) {
+      fail("container count " + std::to_string(n) +
+           " exceeds the remaining payload (" + std::to_string(remaining()) +
+           " bytes)");
+    }
+  }
+
+  void str(std::string& s) {
+    std::uint64_t n = s.size();
+    count(n);
+    if (!saving_) s.assign(static_cast<std::size_t>(n), '\0');
+    if (n != 0) {
+      bytes(reinterpret_cast<unsigned char*>(s.data()),
+            static_cast<std::size_t>(n));
+    }
+  }
+
+  /// Wire scheduling identity (sim/sched/trace.hpp slot encoding). Slots
+  /// are stored tag-free — 0 for a never-traced wire, otherwise bit 32
+  /// set plus the dense wire id — and re-tagged on load for the
+  /// restoring simulator's scheduler (set_wire_tag, called by
+  /// Simulator::visit_checkpoint before any wire is visited).
+  void wire_slot(std::uint64_t& slot) {
+    if (saving_) {
+      std::uint64_t norm =
+          slot == 0
+              ? 0
+              : ((std::uint64_t{1} << 32) | static_cast<std::uint32_t>(slot));
+      u64(norm);
+    } else {
+      std::uint64_t norm = 0;
+      u64(norm);
+      slot = norm == 0 ? 0 : (wire_tag_base_ | static_cast<std::uint32_t>(norm));
+    }
+  }
+
+  void set_wire_tag(std::uint64_t tag_base) { wire_tag_base_ = tag_base; }
+
+  /// Bulk byte-array transfer (memory pages, blob payloads). The caller
+  /// owns layout determinism; n must be the same on save and load.
+  void raw(void* p, std::size_t n) {
+    bytes(static_cast<unsigned char*>(p), n);
+  }
+
+ protected:
+  explicit StateVisitor(bool saving) : saving_(saving) {}
+
+  /// Transfers n raw bytes (append on save, consume on load; a load
+  /// underrun must fail(), not return short).
+  virtual void bytes(unsigned char* p, std::size_t n) = 0;
+
+  /// Bytes left to consume (loaders); savers return a huge value.
+  virtual std::uint64_t remaining() const = 0;
+
+ private:
+  bool saving_;
+  std::uint64_t wire_tag_base_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// visit() overload set. Every call site spells `visit(v, field)`; the
+// StateVisitor argument makes sim an associated namespace, so these (and
+// any same-shape overload next to a user type) are always found.
+// ---------------------------------------------------------------------
+
+inline void visit(StateVisitor& v, bool& x) { v.boolean(x); }
+inline void visit(StateVisitor& v, char& x) {
+  auto b = static_cast<std::uint8_t>(x);
+  v.u8(b);
+  if (!v.saving()) x = static_cast<char>(b);
+}
+inline void visit(StateVisitor& v, std::uint8_t& x) { v.u8(x); }
+inline void visit(StateVisitor& v, std::uint16_t& x) { v.u16(x); }
+inline void visit(StateVisitor& v, std::uint32_t& x) { v.u32(x); }
+inline void visit(StateVisitor& v, std::uint64_t& x) { v.u64(x); }
+inline void visit(StateVisitor& v, double& x) { v.f64(x); }
+inline void visit(StateVisitor& v, std::string& s) { v.str(s); }
+
+inline void visit(StateVisitor& v, int& x) {
+  auto u = static_cast<std::uint32_t>(x);
+  v.u32(u);
+  if (!v.saving()) x = static_cast<int>(u);
+}
+
+/// Enums travel as their numeric value in 32 bits (covers every enum in
+/// the repo; module state enums are int-backed).
+template <typename E>
+  requires std::is_enum_v<E>
+void visit(StateVisitor& v, E& e) {
+  auto u = static_cast<std::uint32_t>(e);
+  v.u32(u);
+  if (!v.saving()) e = static_cast<E>(u);
+}
+
+/// Any type exposing `void visit_fields(StateVisitor&)` — the one-line
+/// opt-in for plain state structs (flit payloads, queue entries, ...).
+template <typename T>
+  requires requires(T& t, StateVisitor& v) { t.visit_fields(v); }
+void visit(StateVisitor& v, T& x) {
+  x.visit_fields(v);
+}
+
+/// RNG stream: the raw xoshiro words, so a restored stream continues the
+/// exact sequence the captured one would have produced.
+inline void visit(StateVisitor& v, Rng& r) {
+  auto s = r.state();
+  for (auto& w : s) v.u64(w);
+  if (!v.saving()) r.set_state(s);
+}
+
+inline void visit(StateVisitor& v, RunningStats& s) {
+  std::uint64_t n = s.count();
+  double mean = s.mean();
+  double m2 = s.m2();
+  double mn = s.min();
+  double mx = s.max();
+  v.u64(n);
+  v.f64(mean);
+  v.f64(m2);
+  v.f64(mn);
+  v.f64(mx);
+  if (!v.saving()) s = RunningStats::from_parts(n, mean, m2, mn, mx);
+}
+
+inline void visit(StateVisitor& v, Histogram& h) {
+  std::uint64_t n = h.bins().size();
+  v.count(n);
+  if (v.saving()) {
+    for (const auto& [value, cnt] : h.bins()) {
+      std::uint64_t val = value;
+      std::uint64_t c = cnt;
+      v.u64(val);
+      v.u64(c);
+    }
+  } else {
+    h = Histogram{};
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::uint64_t value = 0;
+      std::uint64_t cnt = 0;
+      v.u64(value);
+      v.u64(cnt);
+      h.add_count(value, cnt);
+    }
+  }
+}
+
+template <typename T, std::size_t N>
+void visit(StateVisitor& v, std::array<T, N>& a) {
+  for (auto& e : a) visit(v, e);
+}
+
+template <typename T>
+void visit(StateVisitor& v, std::vector<T>& c) {
+  std::uint64_t n = c.size();
+  v.count(n);
+  if (!v.saving()) {
+    c.clear();
+    c.resize(static_cast<std::size_t>(n));
+  }
+  for (auto& e : c) visit(v, e);
+}
+
+inline void visit(StateVisitor& v, std::vector<bool>& c) {
+  std::uint64_t n = c.size();
+  v.count(n);
+  if (!v.saving()) c.assign(static_cast<std::size_t>(n), false);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    bool b = c[i];
+    v.boolean(b);
+    if (!v.saving()) c[i] = b;
+  }
+}
+
+template <typename T>
+void visit(StateVisitor& v, std::deque<T>& c) {
+  std::uint64_t n = c.size();
+  v.count(n);
+  if (!v.saving()) {
+    c.clear();
+    c.resize(static_cast<std::size_t>(n));
+  }
+  for (auto& e : c) visit(v, e);
+}
+
+template <typename K, typename V>
+void visit(StateVisitor& v, std::map<K, V>& m) {
+  std::uint64_t n = m.size();
+  v.count(n);
+  if (v.saving()) {
+    for (auto& [key, value] : m) {
+      K k = key;  // keys are immutable in place; visit a copy
+      visit(v, k);
+      visit(v, value);
+    }
+  } else {
+    m.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      K k{};
+      V value{};
+      visit(v, k);
+      visit(v, value);
+      m.emplace_hint(m.end(), std::move(k), std::move(value));
+    }
+  }
+}
+
+/// Snapshot-layer access to a Wire's private value and scheduling slot
+/// (befriended by Wire). Loads write the value cell directly — no epoch
+/// bump, no trace hook: the restorer re-establishes the settled-state
+/// bookkeeping explicitly, so a restore must not look like activity.
+struct StateAccess {
+  template <typename T>
+  static T& value(Wire<T>& w) {
+    return w.value_;
+  }
+  template <typename T>
+  static std::uint64_t& slot(Wire<T>& w) {
+    return w.sched_slot_;
+  }
+};
+
+template <typename T>
+void visit(StateVisitor& v, Wire<T>& w) {
+  visit(v, StateAccess::value(w));
+  v.wire_slot(StateAccess::slot(w));
+}
+
+}  // namespace sim

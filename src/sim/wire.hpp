@@ -8,6 +8,8 @@
 
 namespace sim {
 
+struct StateAccess;
+
 /// A combinational signal. Modules read inputs and write outputs through
 /// wires during eval(); the kernel repeats eval passes until no wire
 /// changes. T must be equality-comparable and cheap to copy.
@@ -66,6 +68,11 @@ class Wire {
   }
 
  private:
+  // Snapshot restore writes the value cell and re-tags the slot directly
+  // (sim/state.hpp): a restore re-establishes settled-state bookkeeping
+  // explicitly and must not register as wire activity.
+  friend struct StateAccess;
+
   T value_{};
   mutable std::uint64_t sched_slot_ = 0;
 };

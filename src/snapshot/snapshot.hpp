@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "soc/builder.hpp"
+
+/// Simulation-state snapshots: checkpoint a settled Soc netlist and fork
+/// it into independent trial instances.
+///
+/// A Snapshot is the complete dynamic state of an elaborated Soc at a
+/// settled cycle boundary — every wire value, every module's registers
+/// and queues (via sim::StateVisitor reflection, see sim/state.hpp), the
+/// event scheduler's worklist and sensitivity bookkeeping, the RNG
+/// streams, the cycle/eval counters and the metrics registry values.
+/// Structure (modules, links, sensitivity graph shape, metric slot
+/// names) is NOT stored: it is reproduced by elaborating the same
+/// SocDesc, and the snapshot pins it with the desc's canonical hash.
+///
+/// The contract that makes forking exact: restore(capture(soc)) into a
+/// netlist built from the same desc under the same sched policy yields a
+/// simulator whose every subsequent cycle is byte-identical to the
+/// original's — same wires, same RNG draws, same scheduler wake order,
+/// same metrics. The campaign engine exploits this to run a scenario's
+/// common warm-up phase once and fork thousands of trials from it
+/// (campaign::ForkingTrialRunner).
+///
+/// On-disk format `tmu-soc-snapshot-v1` (strict, versioned,
+/// checksummed; all integers little-endian):
+///
+///   offset  size  field
+///   0       16    magic "tmu-soc-snapshot"
+///   16      4     version (currently 1)
+///   20      8     topology hash (SocDesc::hash() of the captured desc)
+///   28      8     cycle at capture
+///   36      8     payload byte count N
+///   44      N     payload (the StateVisitor byte stream)
+///   44+N    8     FNV-1a 64 checksum of bytes [0, 44+N)
+///
+/// The decoder rejects — each with a named SnapshotError — truncation
+/// anywhere, bad magic, unsupported version, a payload count that
+/// disagrees with the file size, and a checksum mismatch. restore()
+/// additionally rejects a topology-hash mismatch, a sched-policy
+/// mismatch, a header cycle that disagrees with the payload, and any
+/// payload that underruns, overruns or misaligns the netlist walk.
+namespace snapshot {
+
+inline constexpr std::size_t kMagicBytes = 16;
+inline constexpr char kMagic[kMagicBytes + 1] = "tmu-soc-snapshot";
+inline constexpr std::uint32_t kVersion = 1;
+/// Fixed bytes before the payload (magic + version + hash + cycle + count).
+inline constexpr std::size_t kHeaderBytes = kMagicBytes + 4 + 8 + 8 + 8;
+inline constexpr std::size_t kChecksumBytes = 8;
+
+/// Any snapshot failure: encode/decode format violations, I/O errors,
+/// and capture/restore contract violations. Messages are prefixed
+/// "tmu-soc-snapshot:" and name the offending field or offset.
+class SnapshotError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One captured netlist state. Plain data: copyable, comparable,
+/// shareable across threads (restore() never mutates the snapshot).
+struct Snapshot {
+  std::uint64_t topology_hash = 0;  ///< SocDesc::hash() of the capture
+  std::uint64_t cycle = 0;          ///< Simulator::cycle() at capture
+  std::vector<unsigned char> payload;
+
+  bool operator==(const Snapshot&) const = default;
+};
+
+/// Captures the complete dynamic state of `soc`. Settles the netlist
+/// first (capture is only meaningful at a settled boundary; settling an
+/// already-settled netlist is a no-op).
+Snapshot capture(soc::Soc& soc);
+
+/// Restores `snap` into `soc`, which must be elaborated from the same
+/// desc (pinned by the topology hash) under the same sched policy.
+/// After restore the simulator reports the captured cycle and continues
+/// byte-identically to the captured one. Throws SnapshotError on any
+/// mismatch; `soc` may be left partially written in that case — discard
+/// it (the cheap rejections all fire before any state is touched).
+void restore(const Snapshot& snap, soc::Soc& soc);
+
+/// Builds a fresh netlist from `desc` and restores `snap` into it — the
+/// fork primitive. Each call yields an independent instance (own
+/// Simulator, own context) that may run on its own thread.
+std::unique_ptr<soc::Soc> fork(const Snapshot& snap, const soc::SocDesc& desc);
+
+/// FNV-1a 64 over a byte range (the format's checksum; exposed for
+/// tests that tamper with encoded images).
+std::uint64_t fnv1a64(const unsigned char* p, std::size_t n);
+
+/// Encodes to the on-disk image (header + payload + checksum).
+std::vector<unsigned char> encode(const Snapshot& snap);
+
+/// Strict decode of a complete on-disk image; throws SnapshotError
+/// naming the first violation.
+Snapshot decode(const unsigned char* data, std::size_t n);
+inline Snapshot decode(const std::vector<unsigned char>& image) {
+  return decode(image.data(), image.size());
+}
+
+/// Writes encode(snap) to `path`; throws SnapshotError on I/O failure.
+void write_file(const Snapshot& snap, const std::string& path);
+
+/// Reads and decodes `path`; throws SnapshotError on I/O failure or any
+/// format violation.
+Snapshot read_file(const std::string& path);
+
+}  // namespace snapshot

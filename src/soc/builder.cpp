@@ -39,11 +39,45 @@
 #include "soc/irq.hpp"
 #include "soc/llc.hpp"
 #include "soc/reset_unit.hpp"
+#include "sim/state.hpp"
 #include "tmu/tmu.hpp"
 #include "trace/recorder.hpp"
 #include "trace/replay.hpp"
 
 namespace soc {
+
+void Soc::visit_state(sim::StateVisitor& v) {
+  // Simulator first: verifies the sched policy and (via the scheduler
+  // checkpoint) the module count, and seeds the visitor's wire re-tag
+  // base before any Wire slot is visited.
+  sim_.visit_checkpoint(v);
+  // Links in construction order. The count check catches a walk that
+  // drifted out of sync before any wire value is misapplied.
+  std::uint64_t n_links = links_.size();
+  v.count(n_links);
+  if (!v.saving() && n_links != links_.size()) {
+    v.fail("soc '" + desc_.name + "': snapshot has " +
+           std::to_string(n_links) + " links, netlist has " +
+           std::to_string(links_.size()));
+  }
+  for (const auto& l : links_) {
+    visit(v, l->req);
+    visit(v, l->rsp);
+  }
+  // Every registered module in simulator registration order (compound
+  // modules' shards included). Name-checked: a payload misalignment
+  // fails on the module that drifted, not ten modules later.
+  for (sim::Module* m : sim_.modules()) {
+    std::string nm = m->name();
+    v.str(nm);
+    if (!v.saving() && nm != m->name()) {
+      v.fail("soc '" + desc_.name + "': snapshot stream is at module '" +
+             nm + "' but the netlist expects '" + m->name() + "'");
+    }
+    m->visit_state(v);
+  }
+  metrics_.visit_state(v);
+}
 
 namespace {
 

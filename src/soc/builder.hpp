@@ -76,6 +76,16 @@ class Soc {
   obs::MetricsRegistry& metrics() { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
 
+  /// Netlist-wide state serde (sim/state.hpp): the simulator checkpoint
+  /// first (verifies the sched policy and module count, seeds wire
+  /// re-tagging), then every link's wires in construction order, then
+  /// every registered module in simulator registration order (crossbar
+  /// shards included, each name-checked against the snapshot), then the
+  /// metrics registry. Drive through snapshot::capture / restore rather
+  /// than calling this directly — the capture contract is a settled
+  /// netlist.
+  void visit_state(sim::StateVisitor& v);
+
   /// Registered block names in simulator-registration order.
   std::vector<std::string> block_names() const {
     std::vector<std::string> names;

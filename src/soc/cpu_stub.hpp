@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sim/module.hpp"
+#include "sim/state.hpp"
 #include "soc/irq.hpp"
 #include "tmu/regs.hpp"
 #include "tmu/tmu.hpp"
@@ -65,6 +66,15 @@ class CpuRecoveryStub : public sim::Module {
 
   std::uint64_t irqs_handled() const { return irqs_handled_; }
   std::uint64_t faults_read() const { return faults_read_; }
+
+  /// State serde (sim/state.hpp): the handler state machine.
+  void visit_state(sim::StateVisitor& v) override {
+    visit(v, state_);
+    visit(v, current_);
+    visit(v, count_);
+    visit(v, irqs_handled_);
+    visit(v, faults_read_);
+  }
 
  private:
   enum class State { kIdle, kHandling };

@@ -1,6 +1,24 @@
 #include "soc/ethernet.hpp"
 
+#include "sim/state.hpp"
+
 namespace soc {
+
+void EthernetPeripheral::visit_state(sim::StateVisitor& v) {
+  visit(v, tx_fifo_);
+  visit(v, rx_fifo_);
+  visit(v, write_q_);
+  visit(v, b_q_);
+  visit(v, read_q_);
+  visit(v, drain_cnt_);
+  visit(v, beats_drained_);
+  visit(v, writes_done_);
+  visit(v, reads_done_);
+  visit(v, hw_resets_);
+  visit(v, cycle_);
+  visit(v, tick_evt_);
+  visit(v, clear_pending_);
+}
 
 EthernetPeripheral::EthernetPeripheral(std::string name, axi::Link& link,
                                        EthernetConfig cfg)

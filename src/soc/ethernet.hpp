@@ -43,6 +43,9 @@ class EthernetPeripheral : public sim::Module {
   void reset() override;
   bool tick_changed_eval_state() const override { return tick_evt_; }
 
+  /// State serde (sim/state.hpp): FIFOs, in-flight queues and counters.
+  void visit_state(sim::StateVisitor& v) override;
+
   /// External hardware reset (from the reset unit): clears FIFOs and all
   /// in-flight transaction state; counters survive (MMIO-visible).
   void hw_reset() {
@@ -63,15 +66,31 @@ class EthernetPeripheral : public sim::Module {
   struct WriteTxn {
     axi::AwFlit aw;
     unsigned beats_got = 0;
+    template <typename V>
+    void visit_fields(V& v) {
+      visit(v, aw);
+      visit(v, beats_got);
+    }
   };
   struct ReadTxn {
     axi::ArFlit ar;
     unsigned next_beat = 0;
     std::uint64_t ready_at = 0;
+    template <typename V>
+    void visit_fields(V& v) {
+      visit(v, ar);
+      visit(v, next_beat);
+      visit(v, ready_at);
+    }
   };
   struct PendingB {
-    axi::Id id;
-    std::uint64_t ready_at;
+    axi::Id id = 0;
+    std::uint64_t ready_at = 0;
+    template <typename V>
+    void visit_fields(V& v) {
+      visit(v, id);
+      visit(v, ready_at);
+    }
   };
 
   bool is_mmio(axi::Addr a) const { return (a & 0xFFFF) < cfg_.mmio_size; }

@@ -2,7 +2,24 @@
 
 #include <algorithm>
 
+#include "sim/state.hpp"
+
 namespace soc {
+
+void IdmaEngine::visit_state(sim::StateVisitor& v) {
+  visit(v, queue_);
+  visit(v, state_);
+  visit(v, cur_);
+  visit(v, done_beats_);
+  visit(v, chunk_beats_);
+  visit(v, chunk_got_);
+  visit(v, chunk_sent_);
+  visit(v, buf_);
+  visit(v, descriptors_done_);
+  visit(v, beats_moved_);
+  visit(v, error_responses_);
+  visit(v, tick_evt_);
+}
 
 void IdmaEngine::start_chunk() {
   chunk_beats_ = std::min<std::uint32_t>(max_burst_, cur_.beats - done_beats_);

@@ -15,6 +15,13 @@ struct DmaDescriptor {
   axi::Addr src = 0;
   axi::Addr dst = 0;
   std::uint32_t beats = 0;
+
+  template <typename V>
+  void visit_fields(V& v) {
+    visit(v, src);
+    visit(v, dst);
+    visit(v, beats);
+  }
 };
 
 /// Descriptor-based DMA engine (the iDMA block of Fig. 10): an AXI4
@@ -47,6 +54,9 @@ class IdmaEngine : public sim::Module {
   void tick() override;
   void reset() override;
   bool tick_changed_eval_state() const override { return tick_evt_; }
+
+  /// State serde (sim/state.hpp): descriptor queue, chunk FSM, buffer.
+  void visit_state(sim::StateVisitor& v) override;
 
  private:
   enum class State {

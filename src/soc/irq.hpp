@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sim/module.hpp"
+#include "sim/state.hpp"
 #include "sim/wire.hpp"
 
 namespace soc {
@@ -58,6 +59,12 @@ class IrqController : public sim::Module {
   }
 
   void complete(std::size_t id) { claimed_[id] = false; }
+
+  /// State serde (sim/state.hpp). The source list is wiring, not state.
+  void visit_state(sim::StateVisitor& v) override {
+    visit(v, pending_);
+    visit(v, claimed_);
+  }
 
  private:
   std::vector<sim::Wire<bool>*> sources_;

@@ -3,8 +3,34 @@
 #include <algorithm>
 
 #include "axi/addr.hpp"
+#include "sim/state.hpp"
 
 namespace soc {
+
+void LastLevelCache::visit_state(sim::StateVisitor& v) {
+  visit(v, tags_);
+  if (!v.saving() && tags_.size() != cfg_.num_lines) {
+    v.fail("llc '" + name() + "': snapshot has " +
+           std::to_string(tags_.size()) + " tag lines, cache has " +
+           std::to_string(cfg_.num_lines));
+  }
+  // Line data as one bulk block (size fixed by the config).
+  std::uint64_t nd = data_.size();
+  v.count(nd);
+  if (!v.saving() && nd != data_.size()) {
+    v.fail("llc '" + name() + "': snapshot data array is " +
+           std::to_string(nd) + " bytes, cache holds " +
+           std::to_string(data_.size()));
+  }
+  if (!data_.empty()) v.raw(data_.data(), data_.size());
+  visit(v, hit_q_);
+  visit(v, miss_q_);
+  visit(v, open_writes_);
+  visit(v, hits_);
+  visit(v, misses_);
+  visit(v, cycle_);
+  visit(v, tick_evt_);
+}
 
 bool LastLevelCache::burst_hits(const axi::ArFlit& ar) const {
   for (unsigned beat = 0; beat < axi::beats(ar.len); ++beat) {

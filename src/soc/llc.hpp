@@ -46,6 +46,9 @@ class LastLevelCache : public sim::Module {
   void reset() override;
   bool tick_changed_eval_state() const override { return tick_evt_; }
 
+  /// State serde (sim/state.hpp): tag/data arrays plus in-flight queues.
+  void visit_state(sim::StateVisitor& v) override;
+
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
   double hit_rate() const {
@@ -74,14 +77,30 @@ class LastLevelCache : public sim::Module {
     axi::ArFlit ar;
     unsigned next_beat = 0;
     std::uint64_t ready_at = 0;
+    template <typename V>
+    void visit_fields(V& v) {
+      visit(v, ar);
+      visit(v, next_beat);
+      visit(v, ready_at);
+    }
   };
   struct MissRead {
     axi::ArFlit ar;  ///< for allocation bookkeeping on return
     unsigned beats_seen = 0;
+    template <typename V>
+    void visit_fields(V& v) {
+      visit(v, ar);
+      visit(v, beats_seen);
+    }
   };
   struct OpenWrite {
     axi::AwFlit aw;
     unsigned beats_got = 0;
+    template <typename V>
+    void visit_fields(V& v) {
+      visit(v, aw);
+      visit(v, beats_got);
+    }
   };
 
   axi::Link& up_;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "sim/module.hpp"
+#include "sim/state.hpp"
 #include "sim/wire.hpp"
 
 namespace soc {
@@ -57,6 +58,13 @@ class ResetUnit : public sim::Module {
 
   std::uint64_t resets_performed() const { return resets_performed_; }
   bool busy() const { return state_ != State::kIdle; }
+
+  void visit_state(sim::StateVisitor& v) override {
+    visit(v, state_);
+    visit(v, count_);
+    visit(v, resets_performed_);
+    visit(v, tick_evt_);
+  }
 
  private:
   enum class State { kIdle, kResetting, kAck };

@@ -5,6 +5,7 @@
 #include "axi/link.hpp"
 #include "axi/types.hpp"
 #include "sim/module.hpp"
+#include "sim/state.hpp"
 #include "tmu/tmu.hpp"
 
 namespace soc {
@@ -101,6 +102,24 @@ class TmuMmio : public sim::Module {
 
   std::uint64_t reg_reads() const { return reg_reads_; }
   std::uint64_t reg_writes() const { return reg_writes_; }
+
+  /// State serde (sim/state.hpp): the open-burst windows and counters
+  /// (the guarded TMU's register file travels with the TMU itself).
+  void visit_state(sim::StateVisitor& v) override {
+    visit(v, w_open_);
+    visit(v, w_first_);
+    visit(v, b_pending_);
+    visit(v, b_id_);
+    visit(v, w_addr_);
+    visit(v, r_open_);
+    visit(v, r_id_);
+    visit(v, r_beat_);
+    visit(v, r_beats_);
+    visit(v, r_data_);
+    visit(v, reg_reads_);
+    visit(v, reg_writes_);
+    visit(v, tick_evt_);
+  }
 
  private:
   axi::Link& link_;

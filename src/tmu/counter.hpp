@@ -23,6 +23,11 @@ class Prescaler {
   void reset() { count_ = 0; }
   std::uint32_t step() const { return step_; }
 
+  template <typename V>
+  void visit_fields(V& v) {
+    visit(v, count_);
+  }
+
  private:
   std::uint32_t step_;
   std::uint32_t count_ = 0;
@@ -71,6 +76,15 @@ class PrescaledCounter {
   std::uint32_t value() const { return value_; }
   std::uint32_t limit() const { return limit_; }
   bool sticky() const { return sticky_; }
+
+  template <typename V>
+  void visit_fields(V& v) {
+    visit(v, value_);
+    visit(v, limit_);
+    visit(v, running_);
+    visit(v, sticky_enabled_);
+    visit(v, sticky_);
+  }
 
  private:
   std::uint32_t value_ = 0;

@@ -43,6 +43,20 @@ struct FaultRecord {
   std::uint32_t elapsed = 0;    ///< cycles spent when flagged
   std::uint32_t budget = 0;     ///< allotted cycles
 
+  template <typename V>
+  void visit_fields(V& v) {
+    visit(v, cycle);
+    visit(v, is_write);
+    visit(v, kind);
+    visit(v, phase_valid);
+    visit(v, phase);
+    visit(v, id);
+    visit(v, tid);
+    visit(v, addr);
+    visit(v, elapsed);
+    visit(v, budget);
+  }
+
   std::string describe() const {
     std::ostringstream os;
     os << "@" << cycle << " " << (is_write ? "WR" : "RD") << " "

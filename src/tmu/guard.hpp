@@ -24,6 +24,17 @@ struct GuardStats {
   std::uint64_t protocol_faults = 0;
   sim::RunningStats total_latency;                 ///< enqueue -> complete
   std::array<sim::RunningStats, kMaxPhases> phase; ///< Fc per-phase cycles
+
+  template <typename V>
+  void visit_fields(V& v) {
+    visit(v, enqueued);
+    visit(v, completed);
+    visit(v, beats);
+    visit(v, timeouts);
+    visit(v, protocol_faults);
+    visit(v, total_latency);
+    visit(v, phase);
+  }
 };
 
 /// One completed transaction's phase-level timing (Fc performance log).
@@ -34,6 +45,16 @@ struct TxnPerfRecord {
   std::uint8_t len = 0;
   std::array<std::uint32_t, kMaxPhases> phase_cycles{};
   std::uint32_t total_cycles = 0;
+
+  template <typename V>
+  void visit_fields(V& v) {
+    visit(v, is_write);
+    visit(v, id);
+    visit(v, addr);
+    visit(v, len);
+    visit(v, phase_cycles);
+    visit(v, total_cycles);
+  }
 };
 
 /// Write Guard (§II-A, Figs. 1-2): tracks every outstanding write through
@@ -74,6 +95,22 @@ class WriteGuard {
   const Ott& ott() const { return ott_; }
   IdRemapper& remapper() { return remap_; }
   const IdRemapper& remapper() const { return remap_; }
+
+  template <typename V>
+  void visit_fields(V& v) {
+    visit(v, remap_);
+    visit(v, ott_);
+    visit(v, prescaler_);
+    visit(v, pending_aw_);
+    visit(v, pending_flit_);
+    visit(v, prev_aw_valid_);
+    visit(v, w_orphan_flagged_);
+    visit(v, b_orphan_flagged_);
+    visit(v, faults_);
+    visit(v, stats_);
+    visit(v, perf_log_);
+    visit(v, perf_dropped_);
+  }
 
  private:
   void enqueue_pending(const axi::AwFlit& aw, std::uint64_t cycle);
@@ -131,6 +168,21 @@ class ReadGuard {
   const Ott& ott() const { return ott_; }
   IdRemapper& remapper() { return remap_; }
   const IdRemapper& remapper() const { return remap_; }
+
+  template <typename V>
+  void visit_fields(V& v) {
+    visit(v, remap_);
+    visit(v, ott_);
+    visit(v, prescaler_);
+    visit(v, pending_ar_);
+    visit(v, pending_flit_);
+    visit(v, prev_ar_valid_);
+    visit(v, r_orphan_flagged_);
+    visit(v, faults_);
+    visit(v, stats_);
+    visit(v, perf_log_);
+    visit(v, perf_dropped_);
+  }
 
  private:
   void enqueue_pending(const axi::ArFlit& ar, std::uint64_t cycle);

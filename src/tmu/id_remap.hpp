@@ -74,6 +74,29 @@ class IdRemapper {
     map_.clear();
   }
 
+  /// State serde: slots only; the ID->tID index is rebuilt on load so
+  /// the unordered map's iteration order never reaches the byte stream.
+  template <typename V>
+  void visit_fields(V& v) {
+    std::uint64_t n = slots_.size();
+    v.count(n);
+    if (!v.saving() && n != slots_.size()) {
+      v.fail("ID remapper capacity mismatch: snapshot has " +
+             std::to_string(n) + " slots, remapper has " +
+             std::to_string(slots_.size()));
+    }
+    for (Slot& s : slots_) {
+      visit(v, s.id);
+      visit(v, s.outstanding);
+    }
+    if (!v.saving()) {
+      map_.clear();
+      for (std::uint8_t i = 0; i < slots_.size(); ++i) {
+        if (slots_[i].outstanding > 0) map_[slots_[i].id] = i;
+      }
+    }
+  }
+
  private:
   struct Slot {
     axi::Id id = 0;

@@ -33,6 +33,23 @@ struct LdEntry {
   std::array<std::uint32_t, kMaxPhases> phase_budget{};  ///< allotted
 
   int next = -1;  ///< next LD index in this tID's FIFO, -1 = none
+
+  template <typename V>
+  void visit_fields(V& v) {
+    visit(v, valid);
+    visit(v, tid);
+    visit(v, orig_id);
+    visit(v, addr);
+    visit(v, len);
+    visit(v, phase);
+    visit(v, beats);
+    visit(v, accepted);
+    visit(v, enq_cycle);
+    visit(v, counter);
+    visit(v, phase_cycles);
+    visit(v, phase_budget);
+    visit(v, next);
+  }
 };
 
 /// Outstanding Transaction Table (Fig. 3): the HT table keeps a FIFO per
@@ -134,11 +151,33 @@ class Ott {
     for (int i = 0; i < static_cast<int>(ld_.size()); ++i) free_.push_back(i);
   }
 
+  /// State serde: every table including the free stack (free-list order
+  /// determines future LD index assignment, so it is behavior).
+  template <typename V>
+  void visit_fields(V& v) {
+    std::uint64_t n = ld_.size();
+    v.count(n);
+    if (!v.saving() && n != ld_.size()) {
+      v.fail("OTT capacity mismatch: snapshot has " + std::to_string(n) +
+             " LD entries, table has " + std::to_string(ld_.size()));
+    }
+    for (auto& e : ld_) visit(v, e);
+    for (auto& h : ht_) visit(v, h);
+    visit(v, ei_);
+    visit(v, free_);
+  }
+
  private:
   struct HtEntry {
     int head = -1;
     int tail = -1;
     std::uint32_t count = 0;
+    template <typename V>
+    void visit_fields(V& v) {
+      visit(v, head);
+      visit(v, tail);
+      visit(v, count);
+    }
   };
 
   std::uint32_t txn_per_id_;

@@ -1,6 +1,7 @@
 #include "tmu/tmu.hpp"
 
 #include "sim/logger.hpp"
+#include "sim/state.hpp"
 
 namespace tmu {
 
@@ -224,6 +225,33 @@ void Tmu::reset() {
   mst_.rsp.force(axi::AxiRsp{});
   irq.force(false);
   reset_req.force(false);
+}
+
+void Tmu::visit_state(sim::StateVisitor& v) {
+  // Module-owned wires first (they are not part of any Soc link), then
+  // both guards, then the sever/abort/recovery registers and logs.
+  visit(v, irq);
+  visit(v, reset_req);
+  visit(v, reset_ack);
+  visit(v, wg_);
+  visit(v, rg_);
+  visit(v, severed_);
+  visit(v, ack_seen_);
+  visit(v, abort_b_);
+  visit(v, abort_r_);
+  visit(v, undrained_beats_);
+  visit(v, w_idle_cycles_);
+  visit(v, swallow_beats_);
+  visit(v, fault_log_);
+  visit(v, fault_log_dropped_);
+  visit(v, lifecycle_log_);
+  visit(v, lifecycle_dropped_);
+  visit(v, resets_requested_);
+  visit(v, recoveries_);
+  visit(v, cycle_);
+  visit(v, tick_evt_);
+  visit(v, irq_latched_);
+  visit(v, fault_read_ptr_);
 }
 
 }  // namespace tmu

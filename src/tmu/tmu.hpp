@@ -25,6 +25,12 @@ struct LifecycleEvent {
   Kind kind = Kind::kDetect;
 
   bool operator==(const LifecycleEvent&) const = default;
+
+  template <typename V>
+  void visit_fields(V& v) {
+    visit(v, cycle);
+    visit(v, kind);
+  }
 };
 
 inline const char* to_string(LifecycleEvent::Kind k) {
@@ -62,6 +68,7 @@ class Tmu : public sim::Module {
   void tick() override;
   void reset() override;
   bool tick_changed_eval_state() const override { return tick_evt_; }
+  void visit_state(sim::StateVisitor& v) override;
 
   // ---- fault / recovery interface ----
   sim::Wire<bool> irq;        ///< level interrupt to the PLIC / CPU
@@ -109,11 +116,20 @@ class Tmu : public sim::Module {
 
  private:
   struct AbortB {
-    axi::Id id;
+    axi::Id id = 0;
+    template <typename V>
+    void visit_fields(V& v) {
+      visit(v, id);
+    }
   };
   struct AbortR {
-    axi::Id id;
-    unsigned beats_left;
+    axi::Id id = 0;
+    unsigned beats_left = 0;
+    template <typename V>
+    void visit_fields(V& v) {
+      visit(v, id);
+      visit(v, beats_left);
+    }
   };
 
   void enter_severed();

@@ -81,6 +81,24 @@ struct TraceRecord {
   bool last = false;       ///< W/R
 
   bool operator==(const TraceRecord&) const = default;
+
+  /// State-serde opt-in (sim/state.hpp) so in-flight capture/replay
+  /// buffers travel inside simulation snapshots.
+  template <typename V>
+  void visit_fields(V& v) {
+    visit(v, cycle);
+    visit(v, ch);
+    visit(v, retract);
+    visit(v, id);
+    visit(v, addr);
+    visit(v, data);
+    visit(v, len);
+    visit(v, size);
+    visit(v, burst);
+    visit(v, resp);
+    visit(v, strb);
+    visit(v, last);
+  }
 };
 
 /// A decoded trace stream plus its header metadata.
@@ -91,6 +109,14 @@ struct TraceBuffer {
   std::vector<TraceRecord> records;
 
   bool operator==(const TraceBuffer&) const = default;
+
+  template <typename V>
+  void visit_fields(V& v) {
+    visit(v, link);
+    visit(v, topology_hash);
+    visit(v, dropped);
+    visit(v, records);
+  }
 };
 
 /// Streamed binary writer with bounded buffering: records are encoded

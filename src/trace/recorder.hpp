@@ -7,6 +7,7 @@
 #include "axi/link.hpp"
 #include "obs/metrics.hpp"
 #include "sim/module.hpp"
+#include "sim/state.hpp"
 #include "trace/format.hpp"
 
 namespace trace {
@@ -103,6 +104,20 @@ class Recorder : public sim::Module {
 
   const TraceBuffer& buffer() const { return buf_; }
 
+  /// State serde (sim/state.hpp): the capture buffer and presentation
+  /// tracking (capacity is config; counter values travel with the
+  /// registry).
+  void visit_state(sim::StateVisitor& v) override {
+    visit(v, buf_);
+    visit(v, aw_pending_);
+    visit(v, w_pending_);
+    visit(v, ar_pending_);
+    visit(v, aw_held_);
+    visit(v, w_held_);
+    visit(v, ar_held_);
+    visit(v, cycle_);
+  }
+
   /// Moves the capture out (e.g. into a campaign TrialResult); the
   /// recorder keeps running on an empty buffer.
   TraceBuffer take() {
@@ -125,6 +140,18 @@ class Recorder : public sim::Module {
     axi::Data data = 0;
     std::uint8_t len = 0, size = 0, burst = 0, strb = 0;
     bool last = false;
+
+    template <typename V>
+    void visit_fields(V& v) {
+      visit(v, id);
+      visit(v, addr);
+      visit(v, data);
+      visit(v, len);
+      visit(v, size);
+      visit(v, burst);
+      visit(v, strb);
+      visit(v, last);
+    }
   };
 
   static Held held_of(const TraceRecord& r) {

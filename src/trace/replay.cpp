@@ -1,6 +1,17 @@
 #include "trace/replay.hpp"
 
+#include "sim/state.hpp"
+
 namespace trace {
+
+void TraceTrafficGen::visit_state(sim::StateVisitor& v) {
+  visit(v, buf_);
+  visit(v, aw_);
+  visit(v, w_);
+  visit(v, ar_);
+  visit(v, cycle_);
+  visit(v, tick_evt_);
+}
 
 TraceTrafficGen::TraceTrafficGen(std::string name, axi::Link& link)
     : sim::Module(std::move(name)), link_(link) {}

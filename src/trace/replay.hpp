@@ -58,6 +58,9 @@ class TraceTrafficGen : public sim::Module {
   void reset() override;
   bool tick_changed_eval_state() const override { return tick_evt_; }
 
+  /// State serde (sim/state.hpp): stream, per-channel plan progress.
+  void visit_state(sim::StateVisitor& v) override;
+
  private:
   static constexpr std::uint64_t kNoRetract = ~std::uint64_t{0};
 
@@ -65,10 +68,23 @@ class TraceTrafficGen : public sim::Module {
     std::uint64_t cycle = 0;          ///< first cycle valid is asserted
     std::uint64_t retract = kNoRetract;  ///< cycle valid drops, no fire
     TraceRecord rec;
+
+    template <typename V>
+    void visit_fields(V& v) {
+      visit(v, cycle);
+      visit(v, retract);
+      visit(v, rec);
+    }
   };
   struct ChannelPlan {
     std::vector<Presentation> pres;
     std::size_t idx = 0;  ///< next / currently presented event
+
+    template <typename V>
+    void visit_fields(V& v) {
+      visit(v, pres);
+      visit(v, idx);
+    }
 
     const Presentation* current(std::uint64_t cycle) const {
       if (idx >= pres.size()) return nullptr;

@@ -206,6 +206,7 @@ TEST_F(CampaignRemote, SpecHashIsSensitiveToEveryField) {
       [](CampaignSpec& s) { s.scenarios[0].trials[0].detect_budget++; },
       [](CampaignSpec& s) { s.scenarios[0].trials[0].soak_cycles++; },
       [](CampaignSpec& s) { s.scenarios[0].trials[0].max_cycles = 9999; },
+      [](CampaignSpec& s) { s.scenarios[0].trials[0].warmup_cycles = 300; },
       [](CampaignSpec& s) { s.scenarios[0].trials[0].exercise_recovery = true; },
       [](CampaignSpec& s) { s.scenarios[0].trials[0].trace_links.push_back("gen.out"); },
       [](CampaignSpec& s) { s.scenarios[0].trials[0].desc = soc::grid_desc(3, 3, 1); },

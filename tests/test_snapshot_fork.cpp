@@ -1,0 +1,105 @@
+// Campaign snapshot forking: a warm-up-heavy campaign run with snapshot
+// forking must produce a report byte-identical to the cold run that
+// pays every warm-up — at 1 and 8 threads, under both scheduler
+// policies, and regardless of how trials land on the warm-up cache.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "sim/kernel.hpp"
+#include "soc/topologies.hpp"
+
+namespace {
+
+// A warm-up-heavy trial prototype: the warm-up (1000 cycles) is longer
+// than the whole fault window (inject <= 150 + detect 600), the regime
+// the fork cache is built for.
+campaign::TrialSpec warm_proto(sim::sched::SchedPolicy policy) {
+  campaign::TrialSpec p;
+  p.desc = soc::ip_testbench_desc();
+  p.desc.policy = policy;
+  p.desc.managers.front().seed = 0xF00D;
+  p.cfg.variant = tmu::Variant::kFullCounter;
+  p.cfg.tc_total_budget = 200;
+  p.point = fault::FaultPoint::kAwReadyStuck;
+  p.traffic.enabled = true;
+  p.traffic.p_new_txn = 0.3;
+  p.traffic.len_max = 7;
+  p.warmup_cycles = 1000;
+  p.inject_delay_max = 150;
+  p.detect_budget = 600;
+  return p;
+}
+
+std::vector<campaign::Scenario> warm_scenarios(
+    sim::sched::SchedPolicy policy) {
+  campaign::TrialSpec a = warm_proto(policy);
+  campaign::TrialSpec b = warm_proto(policy);
+  // Second scenario differs in a warm-up-relevant field, so the cache
+  // must keep two groups apart (same desc, different warm-up length).
+  b.warmup_cycles = 700;
+  b.point = fault::FaultPoint::kBValidStuck;
+  return {campaign::make_scenario("warm-a", a, 4),
+          campaign::make_scenario("warm-b", b, 3)};
+}
+
+campaign::Report run_campaign(const std::vector<campaign::Scenario>& s,
+                              unsigned threads, bool fork) {
+  campaign::EngineOptions opts;
+  opts.threads = threads;
+  opts.snapshot_fork = fork;
+  return campaign::Engine(opts).run(s);
+}
+
+TEST(SnapshotFork, ForkedReportByteIdenticalToCold) {
+  for (const sim::sched::SchedPolicy policy :
+       {sim::sched::SchedPolicy::kEventDriven,
+        sim::sched::SchedPolicy::kFullSweep}) {
+    const std::vector<campaign::Scenario> s = warm_scenarios(policy);
+    const std::string cold = run_campaign(s, 1, false).to_json();
+    EXPECT_EQ(run_campaign(s, 1, true).to_json(), cold);
+    EXPECT_EQ(run_campaign(s, 8, true).to_json(), cold);
+    // Cold execution is itself thread-count-invariant (pinned
+    // elsewhere); re-checked here so the chain fork@8 == cold@1 holds
+    // by transitivity through an in-test witness.
+    EXPECT_EQ(run_campaign(s, 8, false).to_json(), cold);
+  }
+}
+
+TEST(SnapshotFork, WarmupZeroPassesThroughToColdPath) {
+  // Without a warm-up phase there is nothing to share; the forking
+  // runner must behave exactly like run_fault_trial (and byte-preserve
+  // the historical seed-in-desc elaboration).
+  campaign::TrialSpec p = warm_proto(sim::sched::SchedPolicy::kEventDriven);
+  p.warmup_cycles = 0;
+  const std::vector<campaign::Scenario> s = {
+      campaign::make_scenario("cold-only", p, 3)};
+  EXPECT_EQ(run_campaign(s, 2, true).to_json(),
+            run_campaign(s, 2, false).to_json());
+}
+
+TEST(SnapshotFork, ExplicitTrialFnStaysCold) {
+  // An engine handed an explicit TrialFn must run it verbatim — the
+  // fork cache only backs the default trial body.
+  const std::vector<campaign::Scenario> s =
+      warm_scenarios(sim::sched::SchedPolicy::kEventDriven);
+  campaign::EngineOptions opts;
+  opts.threads = 2;
+  const campaign::Report explicit_cold =
+      campaign::Engine(opts).run(s, campaign::run_fault_trial);
+  EXPECT_EQ(explicit_cold.to_json(), run_campaign(s, 2, false).to_json());
+}
+
+TEST(SnapshotFork, WarmupTrialsStillDetectFaults) {
+  // Sanity that the equivalence above is not vacuous: the warm-up-heavy
+  // scenarios actually inject and detect.
+  const campaign::Report r = run_campaign(
+      warm_scenarios(sim::sched::SchedPolicy::kEventDriven), 4, true);
+  EXPECT_EQ(r.total_trials(), 7u);
+  EXPECT_GT(r.overall.detected, 0u);
+}
+
+}  // namespace

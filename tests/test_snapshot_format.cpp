@@ -1,0 +1,239 @@
+// tmu-soc-snapshot-v1 on-disk format: strict decode with every
+// rejection path pinned by byte mutation, restore() contract
+// violations, and the committed fixture byte-pin (decode -> re-encode
+// byte-identical AND re-capture byte-identical, so the walk itself is
+// pinned cross-platform, not just the framing).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "sim/random.hpp"
+#include "snapshot/snapshot.hpp"
+#include "soc/builder.hpp"
+#include "soc/topologies.hpp"
+
+namespace {
+
+using snapshot::Snapshot;
+using snapshot::SnapshotError;
+
+// The committed fixture's recipe. tests/data/ip_testbench_warm.tmusnap
+// is this desc warmed for kFixtureCycle cycles — regenerating it here
+// and comparing byte-for-byte pins the whole visitor walk, so any
+// serde change that silently reorders or resizes state fails loudly.
+soc::SocDesc fixture_desc() {
+  tmu::TmuConfig cfg;
+  cfg.variant = tmu::Variant::kFullCounter;
+  cfg.tc_total_budget = 200;
+  soc::SocDesc d = soc::ip_testbench_desc(cfg);
+  d.managers.front().seed = 0xABCDEF;
+  d.managers.front().traffic.enabled = true;
+  d.managers.front().traffic.p_new_txn = 0.3;
+  d.managers.front().traffic.len_max = 7;
+  return d;
+}
+constexpr std::uint64_t kFixtureCycle = 300;
+constexpr const char* kFixtureFile = "/ip_testbench_warm.tmusnap";
+
+Snapshot small_snapshot(std::uint64_t cycles = 50) {
+  const std::unique_ptr<soc::Soc> soc =
+      soc::SocBuilder::build(soc::grid_desc(2, 2, 2));
+  soc->sim().run(cycles);
+  return snapshot::capture(*soc);
+}
+
+// Expects `fn` to throw a SnapshotError whose message contains `needle`
+// (and carries the format's error prefix).
+template <typename Fn>
+void expect_rejects(Fn&& fn, const std::string& needle) {
+  try {
+    fn();
+    FAIL() << "expected SnapshotError containing \"" << needle << "\"";
+  } catch (const SnapshotError& e) {
+    const std::string what = e.what();
+    EXPECT_EQ(what.rfind("tmu-soc-snapshot:", 0), 0u) << what;
+    EXPECT_NE(what.find(needle), std::string::npos) << what;
+  }
+}
+
+std::vector<unsigned char> read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  return std::vector<unsigned char>(std::istreambuf_iterator<char>(in),
+                                    std::istreambuf_iterator<char>());
+}
+
+TEST(SnapshotFormat, ImageLayoutAndRoundTrip) {
+  const Snapshot snap = small_snapshot();
+  const std::vector<unsigned char> image = snapshot::encode(snap);
+  ASSERT_EQ(image.size(), snapshot::kHeaderBytes + snap.payload.size() +
+                              snapshot::kChecksumBytes);
+  EXPECT_EQ(std::memcmp(image.data(), snapshot::kMagic,
+                        snapshot::kMagicBytes),
+            0);
+  EXPECT_EQ(snapshot::decode(image), snap);
+}
+
+TEST(SnapshotFormat, FileRoundTripIsExact) {
+  const Snapshot snap = small_snapshot();
+  const std::string path = "snapshot_format_roundtrip.tmusnap";
+  snapshot::write_file(snap, path);
+  const Snapshot loaded = snapshot::read_file(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded, snap);
+}
+
+TEST(SnapshotFormat, RejectsTruncationAtEveryBoundary) {
+  const std::vector<unsigned char> image = snapshot::encode(small_snapshot());
+  const std::size_t cuts[] = {0,
+                              1,
+                              snapshot::kMagicBytes,
+                              snapshot::kHeaderBytes - 1,
+                              snapshot::kHeaderBytes,
+                              snapshot::kHeaderBytes + 7,  // < min file size
+                              image.size() / 2,
+                              image.size() - 1};
+  for (std::size_t cut : cuts) {
+    ASSERT_LT(cut, image.size());
+    // Below the minimum the size check names the floor; above it the
+    // payload count no longer matches the bytes actually present.
+    const bool below_min =
+        cut < snapshot::kHeaderBytes + snapshot::kChecksumBytes;
+    expect_rejects([&] { snapshot::decode(image.data(), cut); },
+                   below_min ? "bytes" : "disagrees");
+  }
+}
+
+TEST(SnapshotFormat, RejectsBadMagic) {
+  std::vector<unsigned char> image = snapshot::encode(small_snapshot());
+  image[0] ^= 0x01;
+  expect_rejects([&] { snapshot::decode(image); }, "bad magic");
+}
+
+TEST(SnapshotFormat, RejectsUnsupportedVersion) {
+  std::vector<unsigned char> image = snapshot::encode(small_snapshot());
+  image[snapshot::kMagicBytes] = 0x7E;  // version field, checked pre-checksum
+  expect_rejects([&] { snapshot::decode(image); }, "unsupported version 126");
+}
+
+TEST(SnapshotFormat, RejectsPayloadCountDisagreement) {
+  std::vector<unsigned char> image = snapshot::encode(small_snapshot());
+  image[snapshot::kMagicBytes + 20] ^= 0x01;  // payload-count field LSB
+  expect_rejects([&] { snapshot::decode(image); }, "disagrees");
+}
+
+TEST(SnapshotFormat, RejectsChecksumTamper) {
+  // Flipping any payload byte or any checksum byte must trip the
+  // checksum before the payload is ever interpreted.
+  std::vector<unsigned char> a = snapshot::encode(small_snapshot());
+  a[snapshot::kHeaderBytes + a.size() / 3] ^= 0x40;
+  expect_rejects([&] { snapshot::decode(a); }, "checksum mismatch");
+
+  std::vector<unsigned char> b = snapshot::encode(small_snapshot());
+  b.back() ^= 0x80;
+  expect_rejects([&] { snapshot::decode(b); }, "checksum mismatch");
+}
+
+TEST(SnapshotRestore, RejectsTopologyHashMismatch) {
+  const Snapshot snap = small_snapshot();
+  expect_rejects([&] { snapshot::fork(snap, soc::grid_desc(2, 2, 1)); },
+                 "topology hash mismatch");
+}
+
+TEST(SnapshotRestore, RejectsSchedPolicyMismatch) {
+  // Payload bytes [0, 4) are the captured sched policy — the first
+  // strict check inside the walk. The image-level checksum would catch
+  // this on disk; in-memory tampering must still die with a named error.
+  Snapshot snap = small_snapshot();
+  snap.payload[0] ^= 0x01;
+  expect_rejects([&] { snapshot::fork(snap, soc::grid_desc(2, 2, 2)); },
+                 "sched policy");
+}
+
+TEST(SnapshotRestore, RejectsHeaderCycleDisagreement) {
+  Snapshot snap = small_snapshot();
+  snap.cycle += 1;
+  expect_rejects([&] { snapshot::fork(snap, soc::grid_desc(2, 2, 2)); },
+                 "disagrees with the payload's cycle");
+}
+
+TEST(SnapshotRestore, RejectsPayloadUnderrun) {
+  Snapshot snap = small_snapshot();
+  snap.payload.pop_back();
+  expect_rejects([&] { snapshot::fork(snap, soc::grid_desc(2, 2, 2)); },
+                 "payload underrun");
+}
+
+TEST(SnapshotRestore, RejectsTrailingPayloadBytes) {
+  Snapshot snap = small_snapshot();
+  snap.payload.push_back(0);
+  expect_rejects([&] { snapshot::fork(snap, soc::grid_desc(2, 2, 2)); },
+                 "trailing bytes");
+}
+
+TEST(SnapshotRestore, SurvivesRandomPayloadCorruption) {
+  // A corrupted payload either fails the walk with a SnapshotError or
+  // loads as some other (reachable-shape) state — it must never crash
+  // or allocate unboundedly. Exercises the count/size strictness checks.
+  const Snapshot clean = small_snapshot();
+  sim::Rng rng(0xC0DE);
+  for (int i = 0; i < 30; ++i) {
+    Snapshot snap = clean;
+    snap.payload[rng.range(0, snap.payload.size() - 1)] ^=
+        static_cast<unsigned char>(rng.range(1, 255));
+    try {
+      const std::unique_ptr<soc::Soc> soc =
+          snapshot::fork(snap, soc::grid_desc(2, 2, 2));
+      soc->sim().run(10);  // whatever loaded must still simulate
+    } catch (const SnapshotError& e) {
+      EXPECT_EQ(std::string(e.what()).rfind("tmu-soc-snapshot:", 0), 0u);
+    }
+  }
+}
+
+TEST(SnapshotFixture, FixtureDecodesAndReencodesByteIdentically) {
+  const std::string path = std::string(TMU_TEST_DATA_DIR) + kFixtureFile;
+  const std::vector<unsigned char> bytes = read_bytes(path);
+  ASSERT_FALSE(bytes.empty());
+  const Snapshot snap = snapshot::decode(bytes);
+  EXPECT_EQ(snap.cycle, kFixtureCycle);
+  EXPECT_EQ(snap.topology_hash, fixture_desc().hash());
+  EXPECT_EQ(snapshot::encode(snap), bytes);
+}
+
+TEST(SnapshotFixture, RecaptureIsByteIdenticalToFixture) {
+  // The strong pin: warming the fixture desc today must reproduce the
+  // committed image bit-for-bit — serde layout, RNG streams, scheduler
+  // bookkeeping and all.
+  const std::string path = std::string(TMU_TEST_DATA_DIR) + kFixtureFile;
+  const std::vector<unsigned char> bytes = read_bytes(path);
+  const std::unique_ptr<soc::Soc> soc =
+      soc::SocBuilder::build(fixture_desc());
+  soc->sim().run(kFixtureCycle);
+  EXPECT_EQ(snapshot::encode(snapshot::capture(*soc)), bytes);
+}
+
+TEST(SnapshotFixture, FixtureForksAndContinuesLikeColdRun) {
+  const std::string path = std::string(TMU_TEST_DATA_DIR) + kFixtureFile;
+  const Snapshot snap = snapshot::decode(read_bytes(path));
+  const std::unique_ptr<soc::Soc> forked =
+      snapshot::fork(snap, fixture_desc());
+  EXPECT_EQ(forked->sim().cycle(), kFixtureCycle);
+  forked->sim().run(200);
+
+  const std::unique_ptr<soc::Soc> cold =
+      soc::SocBuilder::build(fixture_desc());
+  cold->sim().run(kFixtureCycle + 200);
+  EXPECT_EQ(forked->sim().cycle(), cold->sim().cycle());
+  EXPECT_EQ(forked->sim().module_evals(), cold->sim().module_evals());
+  EXPECT_EQ(forked->metrics().snapshot().to_json(),
+            cold->metrics().snapshot().to_json());
+}
+
+}  // namespace
